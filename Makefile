@@ -1,0 +1,31 @@
+# Convenience targets for the TSN-Builder reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-full examples lint-rtl outputs clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+lint-rtl:
+	$(PYTHON) -m repro emit-rtl --preset ring --outdir build/rtl-lint >/dev/null && echo "RTL bundle lints clean"
+
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

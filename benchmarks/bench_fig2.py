@@ -1,0 +1,77 @@
+"""Paper Fig. 2: TS latency under varying background bandwidth.
+
+Panel (a) sweeps Best-Effort background load, panel (b) Rate-Constrained
+load, each for both Table I resource configurations.  The published shape:
+TS latency and jitter are flat across the whole sweep and identical between
+the two configurations -- the motivation for resource customization.
+"""
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.analysis.stats import SweepPoint, SweepSeries
+from repro.core.presets import customized_config
+from repro.core.units import mbps
+from repro.network.topology import linear_topology
+from repro.traffic.flows import TrafficClass
+
+from conftest import run_scenario
+
+#: Background loads (total across talkers), the figure's x-axis.
+LOADS_MBPS = (0, 100, 200, 400, 600)
+
+CASES = {"case1": (16, 128), "case2": (12, 96)}
+
+
+def _sweep(scale, background: str, case: str) -> SweepSeries:
+    queue_depth, buffer_num = CASES[case]
+    series = SweepSeries(
+        f"Fig 2 ({background} background, {case})", "load(Mbps)"
+    )
+    for load in LOADS_MBPS:
+        topology = linear_topology(switch_count=3, talkers=["talker0"])
+        config = customized_config(
+            2, name=case, queue_depth=queue_depth, buffer_num=buffer_num
+        )
+        result = run_scenario(
+            topology,
+            scale,
+            config=config,
+            rc_bps=mbps(load) if background == "RC" else 0,
+            be_bps=mbps(load) if background == "BE" else 0,
+        )
+        assert result.ts_loss == 0.0
+        series.add(
+            SweepPoint(
+                x=load,
+                label=str(load),
+                summary=result.ts_summary,
+                loss=result.ts_loss,
+            )
+        )
+    return series
+
+
+@pytest.mark.parametrize("background", ["BE", "RC"])
+@pytest.mark.parametrize("case", ["case1", "case2"])
+def test_fig2(benchmark, scale, background, case):
+    series = benchmark.pedantic(
+        _sweep, args=(scale, background, case), rounds=1, iterations=1
+    )
+    print("\n" + render_series(series))
+    # The claim: latency/jitter of TS flows unaffected by background load.
+    assert series.is_flat(key="mean", tolerance=0.03)
+    assert all(j < 10_000 for j in series.jitters_ns)
+    assert all(loss == 0.0 for loss in series.losses)
+    benchmark.extra_info["means_us"] = [m / 1000 for m in series.means_ns]
+    benchmark.extra_info["jitters_us"] = [j / 1000 for j in series.jitters_ns]
+
+
+def test_fig2_cases_equivalent(benchmark, scale):
+    """Case 1 and Case 2 overlap -- the 540 Kb of extra BRAM buys nothing."""
+    def sweep_both():
+        return {case: _sweep(scale, "BE", case).means_ns for case in CASES}
+
+    means = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+    for a, b in zip(means["case1"], means["case2"]):
+        assert a == pytest.approx(b, rel=0.01)

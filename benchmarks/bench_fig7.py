@@ -1,0 +1,161 @@
+"""Paper Fig. 7: end-to-end latency of TS flows in the ring.
+
+Four panels:
+
+(a) latency vs hop count {1,2,3,4} -- grows one slot per hop, jitter flat;
+(b) latency vs packet size {64...1500 B} -- slight serialization rise;
+(c) latency & jitter vs slot size -- both scale proportionally (Eq. 1);
+(d) latency vs combined RC+BE background load -- flat, zero loss.
+
+Panels (a), (c) and (d) inject with ``injection_phase="uniform"`` -- flows
+spread across their planned slot the way unconstrained TSNNic applications
+do -- so the measured jitter reflects the paper's observation that "the
+jitter is related to the slot_size" (roughly 0.29 x slot for a uniform
+spread) while staying flat across hops and background load.  Panel (b)
+keeps the compact ITP stagger to isolate the serialization effect.
+
+Every panel also asserts Eq. (1) containment packet-by-packet.
+"""
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.analysis.stats import SweepPoint, SweepSeries
+from repro.core.units import mbps
+from repro.cqf.bounds import cqf_bounds
+from repro.network.topology import ring_topology
+from repro.traffic.flows import TrafficClass
+
+from conftest import SLOT_NS, run_scenario
+
+RING_HOPS = 3  # panels (b)-(d) fix the path length
+
+
+def _assert_bounds(result, hops, slot_ns):
+    bounds = cqf_bounds(hops, slot_ns)
+    latencies = result.analyzer.class_latencies(TrafficClass.TS)
+    assert latencies, "no TS packets delivered"
+    assert all(bounds.contains(x) for x in latencies)
+
+
+def test_fig7a_hops(benchmark, scale):
+    def sweep():
+        series = SweepSeries("Fig 7(a): latency vs hops", "hops")
+        for hops in (1, 2, 3, 4):
+            topology = ring_topology(switch_count=hops, talkers=["talker0"])
+            result = run_scenario(topology, scale, injection_phase="uniform")
+            _assert_bounds(result, hops, SLOT_NS)
+            assert result.ts_loss == 0.0
+            series.add(SweepPoint(hops, str(hops), result.ts_summary))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_series(series))
+    assert series.is_monotonic_increasing()
+    # mean grows ~ one slot per hop (Eq. 1 centre = hop * slot)
+    deltas = [b - a for a, b in zip(series.means_ns, series.means_ns[1:])]
+    assert all(d == pytest.approx(SLOT_NS, rel=0.05) for d in deltas)
+    # "the jitter is nearly unchanged in different hops": same slot -> same
+    # spread, whatever the path length
+    assert max(series.jitters_ns) - min(series.jitters_ns) < SLOT_NS / 20
+    assert all(j < SLOT_NS / 2 for j in series.jitters_ns)
+    benchmark.extra_info["means_us"] = [m / 1000 for m in series.means_ns]
+
+
+def test_fig7b_packet_size(benchmark, scale):
+    def sweep():
+        series = SweepSeries("Fig 7(b): latency vs packet size", "bytes")
+        for size in (64, 128, 256, 512, 1024, 1500):
+            topology = ring_topology(
+                switch_count=RING_HOPS, talkers=["talker0"]
+            )
+            # scale the flow count down for large frames: the paper's
+            # 1024-flow set exceeds 1 Gbps at 1500 B (see EXPERIMENTS.md)
+            count = min(scale.ts_flows, 128)
+            result = run_scenario(topology, scale, size_bytes=size,
+                                  ts_flows=count)
+            _assert_bounds(result, RING_HOPS, SLOT_NS)
+            assert result.ts_loss == 0.0
+            series.add(SweepPoint(size, str(size), result.ts_summary))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_series(series))
+    assert series.is_monotonic_increasing()
+    # "increases slightly": the full sweep moves less than one slot
+    assert series.means_ns[-1] - series.means_ns[0] < SLOT_NS
+    benchmark.extra_info["means_us"] = [m / 1000 for m in series.means_ns]
+
+
+def test_fig7c_slot_size(benchmark, scale):
+    slots = (31_250, 62_500, 125_000, 250_000)
+
+    def sweep():
+        from repro.core.sizing import derive_config
+        from repro.traffic.iec60802 import production_cell_flows
+
+        series = SweepSeries("Fig 7(c): latency vs slot size", "slot(us)")
+        for slot in slots:
+            topology = ring_topology(
+                switch_count=RING_HOPS, talkers=["talker0"]
+            )
+            # guideline 4: bigger slots gather more frames per slot, so the
+            # queue depth must be re-derived per slot size (at full scale,
+            # 1024 flows on 250us slots need 26-deep queues, not 12)
+            sizing_flows = production_cell_flows(
+                ["talker0"], "listener", flow_count=scale.ts_flows
+            )
+            config = derive_config(topology, sizing_flows, slot)
+            result = run_scenario(topology, scale, slot_ns=slot,
+                                  config=config.config,
+                                  injection_phase="uniform")
+            _assert_bounds(result, RING_HOPS, slot)
+            assert result.ts_loss == 0.0
+            series.add(
+                SweepPoint(slot / 1000, f"{slot / 1000:g}", result.ts_summary)
+            )
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_series(series))
+    # "average latency and jitter are increased manyfold": mean tracks the
+    # slot size linearly (ratio ~8 across a 8x slot sweep) and jitter grows
+    # with it (uniform in-slot injection spread).
+    assert series.scaling_factor() == pytest.approx(8.0, rel=0.15)
+    assert series.is_monotonic_increasing()
+    assert series.is_monotonic_increasing(key="jitter")
+    assert series.jitters_ns[-1] > 4 * series.jitters_ns[0]
+    benchmark.extra_info["means_us"] = [m / 1000 for m in series.means_ns]
+    benchmark.extra_info["jitters_us"] = [j / 1000 for j in series.jitters_ns]
+
+
+def test_fig7d_background(benchmark, scale):
+    loads = (0, 100, 200, 400, 800)
+
+    def sweep():
+        series = SweepSeries(
+            "Fig 7(d): latency vs background load", "load(Mbps)"
+        )
+        for load in loads:
+            topology = ring_topology(
+                switch_count=RING_HOPS, talkers=["talker0"]
+            )
+            # equal RC and BE shares, as in the paper
+            result = run_scenario(
+                topology, scale, rc_bps=mbps(load) // 2 if load else 0,
+                be_bps=mbps(load) // 2 if load else 0,
+                injection_phase="uniform",
+            )
+            _assert_bounds(result, RING_HOPS, SLOT_NS)
+            assert result.ts_loss == 0.0
+            series.add(SweepPoint(load, str(load), result.ts_summary))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_series(series))
+    # "there is no affection on the latency and jitter of critical TS flows"
+    # (residual head-of-line blocking behind one in-flight background MTU
+    # moves the mean by <5% of itself -- well inside the Eq.1 window)
+    assert series.is_flat(key="mean", tolerance=0.05)
+    assert series.is_flat(key="jitter", tolerance=0.10)
+    benchmark.extra_info["means_us"] = [m / 1000 for m in series.means_ns]

@@ -1,0 +1,58 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact -- these keep the event kernel, BRAM allocator and ITP
+planner honest performance-wise, since every experiment above is built on
+them.  These use normal multi-round pytest-benchmark timing.
+"""
+
+from repro.core import bram
+from repro.core.units import ms
+from repro.cqf.itp import ItpPlanner
+from repro.cqf.schedule import CqfSchedule
+from repro.sim.kernel import Simulator
+from repro.traffic.iec60802 import production_cell_flows
+
+from conftest import SLOT_NS
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_bram_allocation_throughput(benchmark):
+    """Full aspect-ratio search across a realistic shape population."""
+    shapes = [(w, d) for w in (17, 32, 68, 72, 117) for d in
+              (2, 12, 16, 512, 1024, 16384)]
+
+    def run():
+        return sum(bram.allocate(w, d).bits for w, d in shapes)
+
+    assert benchmark(run) > 0
+
+
+def test_itp_planner_throughput(benchmark):
+    """Planning the paper's full 1024-flow set."""
+    flows = list(
+        production_cell_flows(["t0", "t1", "t2"], "l", flow_count=1024)
+    )
+    schedule = CqfSchedule(SLOT_NS, ms(10))
+
+    def run():
+        return ItpPlanner(schedule).plan(flows).max_frames_per_slot
+
+    assert benchmark(run) == 7

@@ -1,0 +1,121 @@
+"""Ablation/extension: the Section V parameter-selection optimization.
+
+The paper's guidelines (Section III.C) give one feasible configuration;
+Section V points out that choosing the parameters is really an optimization
+problem.  This bench quantifies how much the implemented optimizer recovers
+on top of the guideline configuration for the evaluation workload, verifies
+the optimized point on the wire (zero loss, Eq. 1 at the smaller slot), and
+prints the Pareto frontier for a heavy-frame workload where slot size and
+BRAM genuinely trade off.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.optimizer import optimize
+from repro.core.presets import customized_config, ring_config
+from repro.core.units import ms
+from repro.cqf.bounds import cqf_bounds
+from repro.network.topology import ring_topology
+from repro.traffic.flows import FlowSet, FlowSpec, TrafficClass
+from repro.traffic.iec60802 import production_cell_flows
+
+from conftest import run_scenario
+
+TALKERS = ["t0", "t1", "t2"]
+
+
+def test_optimizer_vs_guidelines(benchmark, scale):
+    flows = production_cell_flows(TALKERS, "listener", flow_count=1024)
+    topology = ring_topology(6, talkers=TALKERS)
+
+    def run_search():
+        return (
+            optimize(topology, flows),
+            optimize(topology, flows, aggregate_switch_entries=True),
+        )
+
+    plain, aggregated = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    guideline_kb = ring_config().total_bram_kb
+    rows = [
+        ["guideline (62.5us)", "12", f"{guideline_kb:g}", "437.5"],
+        [
+            f"optimized ({plain.best.slot_ns / 1000:g}us)",
+            str(plain.best.config.queue_depth),
+            f"{plain.best.total_bram_kb:g}",
+            f"{plain.best.worst_latency_ns / 1000:g}",
+        ],
+        [
+            "+ table aggregation",
+            str(aggregated.best.config.queue_depth),
+            f"{aggregated.best.total_bram_kb:g}",
+            f"{aggregated.best.worst_latency_ns / 1000:g}",
+        ],
+    ]
+    print("\n" + render_table(
+        ["configuration", "depth", "BRAM(Kb)", "Lmax(us)"], rows,
+        title="Guideline vs optimized (ring, 1024 flows)",
+    ))
+    assert plain.best.total_bram_kb < guideline_kb
+    assert aggregated.best.total_bram_kb < plain.best.total_bram_kb
+    # everything still deadline-feasible (tightest IEC deadline is 1 ms)
+    assert plain.best.worst_latency_ns <= ms(1)
+    benchmark.extra_info["guideline_kb"] = guideline_kb
+    benchmark.extra_info["optimized_kb"] = plain.best.total_bram_kb
+    benchmark.extra_info["aggregated_kb"] = aggregated.best.total_bram_kb
+
+
+def test_optimized_config_validated_on_wire(benchmark, scale):
+    """The cheaper configuration must deliver the same QoS."""
+    flows = production_cell_flows(TALKERS, "listener", flow_count=1024)
+    search = optimize(ring_topology(6, talkers=TALKERS), flows)
+    best = search.best
+    hops = 3
+    topology = ring_topology(hops, talkers=["talker0"])
+
+    result = benchmark.pedantic(
+        run_scenario,
+        args=(topology, scale),
+        kwargs=dict(config=best.config, slot_ns=best.slot_ns),
+        rounds=1,
+        iterations=1,
+    )
+    bounds = cqf_bounds(hops, best.slot_ns)
+    latencies = result.analyzer.class_latencies(TrafficClass.TS)
+    print(
+        f"\noptimized slot {best.slot_ns / 1000:g}us: mean "
+        f"{result.ts_summary.mean_ns / 1000:.2f}us loss {result.ts_loss} "
+        f"queue hw {result.max_queue_high_water()}/{best.config.queue_depth}"
+    )
+    assert result.ts_loss == 0.0
+    assert latencies and all(bounds.contains(x) for x in latencies)
+    assert result.max_queue_high_water() <= best.config.queue_depth
+    benchmark.extra_info["mean_us"] = result.ts_summary.mean_ns / 1000
+
+
+def test_optimizer_pareto_heavy_frames(benchmark):
+    flows = FlowSet()
+    for i in range(256):
+        flows.add(FlowSpec(i, TrafficClass.TS, TALKERS[i % 3], "listener",
+                           1500, period_ns=ms(10), deadline_ns=ms(4)))
+    topology = ring_topology(6, talkers=TALKERS)
+
+    result = benchmark.pedantic(
+        optimize, args=(topology, flows), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{p.slot_ns / 1000:g}",
+            str(p.config.queue_depth),
+            f"{p.total_bram_kb:g}",
+            f"{p.worst_latency_ns / 1000:g}",
+        ]
+        for p in result.pareto
+    ]
+    print("\n" + render_table(
+        ["slot(us)", "depth", "BRAM(Kb)", "Lmax(us)"], rows,
+        title=f"Pareto frontier, 256 x 1500B "
+              f"(rejected slots: {[s // 1000 for s in result.rejected_slots]} us)",
+    ))
+    assert result.rejected_slots  # small slots are ITP-infeasible here
+    assert all(7 * p.slot_ns <= ms(4) for p in result.pareto)

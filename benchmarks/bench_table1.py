@@ -1,0 +1,69 @@
+"""Paper Table I: the motivation's two queue/buffer configurations.
+
+Regenerates the configuration table (2304 Kb vs 1764 Kb, a 540 Kb saving)
+and validates the motivating claim behind it: both configurations deliver
+identical TS QoS on the 3-switch network, because Case 1's extra resources
+sit above the traffic-dependent threshold.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table1
+from repro.core.presets import customized_config, table1_case1, table1_case2
+from repro.core.units import mbps
+from repro.network.topology import linear_topology
+from repro.traffic.flows import TrafficClass
+
+from conftest import run_scenario
+
+
+def test_table1_resources(benchmark):
+    def build():
+        return (
+            table1_case1().resource_report("Case 1"),
+            table1_case2().resource_report("Case 2"),
+        )
+
+    case1, case2 = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_table1(case1, case2))
+
+    def queue_buffer_kb(report):
+        return report.row("Queues").kb + report.row("Buffers").kb
+
+    assert queue_buffer_kb(case1) == 2304
+    assert queue_buffer_kb(case2) == 1764
+    assert queue_buffer_kb(case1) - queue_buffer_kb(case2) == 540
+    benchmark.extra_info["case1_kb"] = queue_buffer_kb(case1)
+    benchmark.extra_info["case2_kb"] = queue_buffer_kb(case2)
+
+
+@pytest.mark.parametrize(
+    "label,queue_depth,buffer_num",
+    [("case1", 16, 128), ("case2", 12, 96)],
+)
+def test_table1_equal_qos(benchmark, scale, label, queue_depth, buffer_num):
+    """Both cases: stable TS latency, zero loss, despite background load."""
+    topology = linear_topology(switch_count=3, talkers=["talker0"])
+    config = customized_config(
+        2, name=label, queue_depth=queue_depth, buffer_num=buffer_num
+    )
+    result = benchmark.pedantic(
+        run_scenario,
+        args=(topology, scale),
+        kwargs=dict(config=config, rc_bps=mbps(100), be_bps=mbps(100)),
+        rounds=1,
+        iterations=1,
+    )
+    summary = result.ts_summary
+    print(
+        f"\n{label}: mean={summary.mean_ns / 1000:.2f}us "
+        f"jitter={summary.jitter_ns / 1000:.2f}us loss={result.ts_loss}"
+    )
+    assert result.ts_loss == 0.0
+    assert result.analyzer.deadline_misses(TrafficClass.TS) == 0
+    # occupancy stays under even the smaller Case 2 sizing
+    assert result.max_queue_high_water() <= 12
+    assert result.max_buffer_high_water() <= 96
+    benchmark.extra_info["mean_us"] = summary.mean_ns / 1000
+    benchmark.extra_info["jitter_us"] = summary.jitter_ns / 1000
+    benchmark.extra_info["queue_high_water"] = result.max_queue_high_water()

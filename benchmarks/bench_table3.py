@@ -1,0 +1,87 @@
+"""Paper Table III: resource usage, commercial vs customized switches.
+
+Regenerates every row and column of the table from the BRAM cost model and
+asserts the published totals and reduction percentages bit-exactly.  Also
+re-derives the customized parameters from the application features through
+the sizing guidelines, demonstrating the full Top-down pipeline.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table3
+from repro.core.presets import (
+    bcm53154_config,
+    linear_config,
+    ring_config,
+    star_config,
+)
+from repro.core.sizing import derive_config
+from repro.network.topology import linear_topology, ring_topology, star_topology
+from repro.traffic.iec60802 import production_cell_flows
+
+from conftest import SLOT_NS
+
+EXPECTED = {
+    "Commercial (4 ports)": 10818,
+    "Customized (Star, 3 ports)": 5778,
+    "Customized (Linear, 2 ports)": 3942,
+    "Customized (Ring, 1 port)": 2106,
+}
+EXPECTED_REDUCTIONS = {"star": 0.4659, "linear": 0.6356, "ring": 0.8053}
+
+
+def _build_reports():
+    baseline = bcm53154_config().resource_report("Commercial (4 ports)")
+    customized = [
+        star_config().resource_report("Customized (Star, 3 ports)"),
+        linear_config().resource_report("Customized (Linear, 2 ports)"),
+        ring_config().resource_report("Customized (Ring, 1 port)"),
+    ]
+    return baseline, customized
+
+
+def test_table3(benchmark):
+    baseline, customized = benchmark.pedantic(
+        _build_reports, rounds=1, iterations=1
+    )
+    text = render_table3(baseline, customized)
+    print("\n" + text)
+
+    assert baseline.total_kb == EXPECTED["Commercial (4 ports)"]
+    for report in customized:
+        assert report.total_kb == EXPECTED[report.title]
+    for report, key in zip(customized, ("star", "linear", "ring")):
+        assert report.reduction_vs(baseline) == pytest.approx(
+            EXPECTED_REDUCTIONS[key], abs=5e-5
+        )
+    benchmark.extra_info["totals_kb"] = {
+        report.title: report.total_kb for report in [baseline] + customized
+    }
+    benchmark.extra_info["reductions"] = {
+        report.title: round(report.reduction_vs(baseline), 4)
+        for report in customized
+    }
+
+
+def test_table3_from_sizing_guidelines(benchmark):
+    """The same columns derived Top-down from topology + flow features."""
+    flows = production_cell_flows(["t0", "t1", "t2"], "l", flow_count=1024)
+
+    def derive_all():
+        return {
+            "star": derive_config(star_topology(), flows, SLOT_NS),
+            "linear": derive_config(linear_topology(6), flows, SLOT_NS),
+            "ring": derive_config(ring_topology(6), flows, SLOT_NS),
+        }
+
+    results = benchmark.pedantic(derive_all, rounds=1, iterations=1)
+    assert results["star"].config.total_bram_kb == 5778
+    assert results["linear"].config.total_bram_kb == 3942
+    assert results["ring"].config.total_bram_kb == 2106
+    for name, result in results.items():
+        print(
+            f"{name}: ITP requires depth {result.required_queue_depth}, "
+            f"sized to {result.config.queue_depth} "
+            f"({result.config.buffer_num} buffers/port) -> "
+            f"{result.config.total_bram_kb:g}Kb"
+        )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Generate the parameterized Verilog bundle for a customized switch.
+
+The FPGA prototype programs the five templates in Verilog; this backend
+regenerates that artifact for any configuration.  The script emits three
+bundles (one per evaluated topology) under ``build/rtl/`` and shows that
+re-customization changes *only* parameter values -- the fixed template
+logic is byte-identical, which is the "reuse without reprogramming" claim.
+
+Run:  python examples/rtl_generation.py [--outdir build/rtl]
+"""
+
+import argparse
+import difflib
+import json
+from pathlib import Path
+
+from repro.core.builder import TSNBuilder
+from repro.core.presets import linear_config, ring_config, star_config
+
+
+def emit(config, outdir: Path):
+    builder = TSNBuilder(platform="rtl")
+    builder.customize(config)
+    model = builder.synthesize()
+    files = model.emit_verilog(outdir)
+    return model, files
+
+
+def main(outdir: Path) -> None:
+    bundles = {}
+    for config, name in [
+        (star_config(), "star"),
+        (linear_config(), "linear"),
+        (ring_config(), "ring"),
+    ]:
+        model, files = emit(config, outdir / name)
+        bundles[name] = outdir / name
+        manifest = json.loads((outdir / name / "manifest.json").read_text())
+        print(f"{name}: {len(files)} files -> {outdir / name}")
+        print(f"  predicted BRAM: {manifest['predicted_bram_kb']:g}Kb")
+        for row, kb in manifest["predicted_bram_rows"].items():
+            print(f"    {row:12s} {kb:g}Kb")
+
+    # The template-reuse claim: diff two bundles, expect only parameters.
+    star_text = (bundles["star"] / "gate_ctrl.v").read_text()
+    ring_text = (bundles["ring"] / "gate_ctrl.v").read_text()
+    changed = [
+        line
+        for line in difflib.unified_diff(
+            star_text.splitlines(), ring_text.splitlines(), lineterm="", n=0
+        )
+        if line.startswith(("+", "-")) and not line.startswith(("+++", "---"))
+    ]
+    print("\nDiff of gate_ctrl.v between star and ring bundles:")
+    for line in changed:
+        print(f"  {line}")
+    meaningful = [l for l in changed if "configuration" not in l]
+    assert all(
+        "parameter" in line or "QUEUE_DEPTH" in line for line in meaningful
+    ), "template logic must not change across customizations"
+    print("\nOnly parameter lines differ -- the fixed logic is reused "
+          "verbatim.\nrtl_generation OK")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", type=Path, default=Path("build/rtl"))
+    args = parser.parse_args()
+    main(args.outdir)

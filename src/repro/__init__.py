@@ -1,0 +1,119 @@
+"""TSN-Builder reproduction: template-based customization of
+resource-efficient Time-Sensitive Networking switches (Yan et al., DAC 2020).
+
+The public API groups into four layers:
+
+* **Customization model** (the paper's contribution) --
+  :class:`CustomizationAPI` (the seven Table II calls),
+  :class:`SwitchConfig`, :class:`TSNBuilder` and the five function
+  templates, the sizing guidelines in :mod:`repro.core.sizing`, and the
+  BRAM cost model in :mod:`repro.core.bram`.
+
+* **Dataplane substrate** -- :class:`TsnSwitch` and its components
+  (:mod:`repro.switch`), driven by the event kernel in :mod:`repro.sim`.
+
+* **Scenario layer** -- topologies, hosts, links, the TSN analyzer and the
+  :class:`Testbed` orchestrator (:mod:`repro.network`), traffic profiles
+  (:mod:`repro.traffic`), and CQF scheduling/ITP (:mod:`repro.cqf`).
+
+* **Outputs** -- resource reports (:mod:`repro.analysis.report`) and the
+  Verilog generator backend (:mod:`repro.rtl`).
+
+Quickstart::
+
+    from repro import CustomizationAPI, Testbed, ring_topology
+    from repro.traffic.iec60802 import production_cell_flows
+
+    api = CustomizationAPI("ring-node")
+    api.set_switch_tbl(1024, 0)
+    api.set_class_tbl(1024)
+    api.set_meter_tbl(1024)
+    api.set_gate_tbl(2, 8, 1)
+    api.set_cbs_tbl(3, 3, 1)
+    api.set_queues(12, 8, 1)
+    api.set_buffers(96, 1)
+    config = api.build()
+
+    topo = ring_topology()
+    flows = production_cell_flows(["talker0"], "listener", flow_count=64)
+    result = Testbed(topo, config, flows).run(duration_ns=50_000_000)
+    print(result.ts_summary)
+"""
+
+from .core.api import CustomizationAPI
+from .core.bram import allocate as allocate_bram
+from .core.config import EntryWidths, SwitchConfig
+from .core.errors import (
+    CapacityError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+    SynthesisError,
+    TopologyError,
+    TsnBuilderError,
+)
+from .core.presets import (
+    bcm53154_config,
+    customized_config,
+    linear_config,
+    ring_config,
+    star_config,
+)
+from .core.optimizer import optimize
+from .core.resources import ResourceReport
+from .core.sizing import derive_config
+from .core.validation import check_deployment
+from .cqf.bounds import CqfBounds, cqf_bounds
+from .cqf.schedule import CqfSchedule
+from .network.scenario import ScenarioSpec
+from .network.testbed import ScenarioResult, Testbed
+from .network.topology import (
+    TopologySpec,
+    dual_path_topology,
+    linear_topology,
+    ring_topology,
+    star_topology,
+)
+from .switch.device import TsnSwitch
+from .traffic.flows import FlowSet, FlowSpec, TrafficClass
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CustomizationAPI",
+    "SwitchConfig",
+    "EntryWidths",
+    "ResourceReport",
+    "TsnBuilderError",
+    "ConfigurationError",
+    "CapacityError",
+    "SchedulingError",
+    "SimulationError",
+    "SynthesisError",
+    "TopologyError",
+    "allocate_bram",
+    "bcm53154_config",
+    "customized_config",
+    "star_config",
+    "linear_config",
+    "ring_config",
+    "CqfBounds",
+    "cqf_bounds",
+    "CqfSchedule",
+    "TsnSwitch",
+    "FlowSpec",
+    "FlowSet",
+    "TrafficClass",
+    "TopologySpec",
+    "ring_topology",
+    "linear_topology",
+    "star_topology",
+    "dual_path_topology",
+    "Testbed",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "derive_config",
+    "optimize",
+    "check_deployment",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Paper-style text rendering of resource reports and sweep series.
+
+The benchmark harness prints the same rows/series the paper reports:
+:func:`render_table3` reproduces the layout of Table III (resource rows x
+configuration columns with reduction percentages), :func:`render_table1`
+the motivation table, and :func:`render_series` the data behind each Fig. 7
+panel.  Everything is plain monospace text so diffs against
+``EXPERIMENTS.md`` stay reviewable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.resources import ResourceReport
+from .stats import SweepSeries
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_table3",
+    "render_series",
+]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Align *rows* under *headers* with two-space gutters."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt_params(params: Sequence[int]) -> str:
+    return ", ".join(str(p) for p in params)
+
+
+def render_table3(
+    baseline: ResourceReport, customized: Sequence[ResourceReport]
+) -> str:
+    """The paper's Table III: rows per resource, columns per configuration."""
+    headers = ["Resource Type", f"{baseline.title} params", "BRAMs"]
+    for report in customized:
+        headers.extend([f"{report.title} params", "BRAMs"])
+    rows: List[List[str]] = []
+    for base_row in baseline.rows:
+        row = [base_row.resource, _fmt_params(base_row.parameters),
+               base_row.kb_label]
+        for report in customized:
+            other = report.row(base_row.resource)
+            row.extend([_fmt_params(other.parameters), other.kb_label])
+        rows.append(row)
+    total = ["Total", "", f"{baseline.total_kb:g}Kb"]
+    for report in customized:
+        reduction = report.reduction_vs(baseline)
+        total.extend(
+            ["", f"{report.total_kb:g}Kb (-{reduction * 100:.2f}%)"]
+        )
+    rows.append(total)
+    return render_table(headers, rows, title="Comparison of resource usage")
+
+
+def render_table1(case1: ResourceReport, case2: ResourceReport) -> str:
+    """The motivation table: queue/buffer parameters and total BRAM."""
+    headers = ["", "Queue params", "Buffer params", "Total BRAMs"]
+    rows = []
+    for report in (case1, case2):
+        queues = report.row("Queues")
+        buffers = report.row("Buffers")
+        total_kb = queues.kb + buffers.kb
+        rows.append(
+            [
+                report.title,
+                _fmt_params(queues.parameters),
+                _fmt_params(buffers.parameters),
+                f"{total_kb:g}Kb",
+            ]
+        )
+    return render_table(headers, rows, title="Configuration of queue and packet buffer")
+
+
+def render_series(series: SweepSeries, unit: str = "us") -> str:
+    """One figure panel as a table of x -> mean/jitter/min/max/loss."""
+    scale = 1000.0 if unit == "us" else 1.0
+    headers = [series.xlabel, f"mean({unit})", f"jitter({unit})",
+               f"min({unit})", f"max({unit})", "loss"]
+    rows = []
+    for point in series.points:
+        s = point.summary
+        rows.append(
+            [
+                point.label,
+                f"{s.mean_ns / scale:.2f}",
+                f"{s.jitter_ns / scale:.2f}",
+                f"{s.min_ns / scale:.2f}",
+                f"{s.max_ns / scale:.2f}",
+                f"{point.loss:.4f}",
+            ]
+        )
+    return render_table(headers, rows, title=series.name)

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands wrap the library's main workflows:
+
+``report``
+    Print the paper's Table III (and optionally Table I) from the published
+    parameter sets.
+``size``
+    Apply the Section III.C guidelines: topology + flow features in,
+    derived SwitchConfig out (JSON to stdout or a file).
+``emit-rtl``
+    Synthesize a configuration (preset name or JSON file) and write the
+    parameterized Verilog bundle.
+``simulate``
+    Run a declarative scenario file (see
+    :class:`repro.network.scenario.ScenarioSpec`) and print/emit the
+    result summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.export import result_summary
+from repro.analysis.report import render_table1, render_table3
+from repro.core.builder import TSNBuilder
+from repro.core.config import SwitchConfig
+from repro.core.errors import TsnBuilderError
+from repro.core.optimizer import optimize
+from repro.core.presets import (
+    bcm53154_config,
+    linear_config,
+    ring_config,
+    star_config,
+    table1_case1,
+    table1_case2,
+)
+from repro.core.sizing import derive_config
+from repro.core.units import us
+from repro.network.scenario import ScenarioSpec
+from repro.network.topology import (
+    linear_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.traffic.flows import FlowSet
+from repro.traffic.iec60802 import production_cell_flows
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "commercial": bcm53154_config,
+    "star": star_config,
+    "linear": linear_config,
+    "ring": ring_config,
+}
+
+_TOPOLOGIES = {
+    "ring": ring_topology,
+    "linear": linear_topology,
+    "star": star_topology,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSN-Builder reproduction (DAC 2020) command line",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="print the paper's resource tables"
+    )
+    report.add_argument("--table1", action="store_true",
+                        help="also print the motivation table")
+
+    size = commands.add_parser(
+        "size", help="derive a switch configuration from application features"
+    )
+    size.add_argument("--topology", choices=sorted(_TOPOLOGIES),
+                      default="ring")
+    size.add_argument("--switches", type=int, default=6,
+                      help="switch count (ring/linear)")
+    size.add_argument("--flows", type=int, default=1024)
+    size.add_argument("--period-us", type=float, default=10_000.0)
+    size.add_argument("--size-bytes", type=int, default=64)
+    size.add_argument("--slot-us", type=float, default=62.5)
+    size.add_argument("--gate-mechanism", choices=["cqf", "qbv"],
+                      default="cqf")
+    size.add_argument("--optimize", action="store_true",
+                      help="search slot sizes for the cheapest "
+                           "deadline-feasible configuration instead of "
+                           "applying the guidelines at --slot-us")
+    size.add_argument("--deadline-us", type=float, default=None,
+                      help="tightest flow deadline for --optimize")
+    size.add_argument("--aggregate", action="store_true",
+                      help="with --optimize: aggregate forwarding entries "
+                           "per destination")
+    size.add_argument("--output", type=Path, default=None,
+                      help="write the config JSON here instead of stdout")
+
+    emit = commands.add_parser(
+        "emit-rtl", help="generate the parameterized Verilog bundle"
+    )
+    source = emit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", choices=sorted(_PRESETS))
+    source.add_argument("--config", type=Path,
+                        help="SwitchConfig JSON file (e.g. from `size`)")
+    emit.add_argument("--outdir", type=Path, required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a declarative scenario file"
+    )
+    simulate.add_argument("scenario", type=Path)
+    simulate.add_argument("--summary-json", type=Path, default=None,
+                          help="also write the summary as JSON")
+    simulate.add_argument("--check", action="store_true",
+                          help="pre-flight the configuration against the "
+                               "scenario and stop (no simulation)")
+
+    return parser
+
+
+# ------------------------------------------------------------------ commands
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    baseline = bcm53154_config().resource_report("Commercial (4 ports)")
+    customized = [
+        star_config().resource_report("Star (3 ports)"),
+        linear_config().resource_report("Linear (2 ports)"),
+        ring_config().resource_report("Ring (1 port)"),
+    ]
+    print(render_table3(baseline, customized))
+    if args.table1:
+        print()
+        print(render_table1(
+            table1_case1().resource_report("Case 1"),
+            table1_case2().resource_report("Case 2"),
+        ))
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    builder = _TOPOLOGIES[args.topology]
+    if args.topology == "star":
+        topology = builder()
+    else:
+        topology = builder(switch_count=args.switches)
+    talkers = [u.host for u in topology.uplinks]
+    flows = production_cell_flows(
+        talkers,
+        topology.attachments[0].host,
+        flow_count=args.flows,
+        period_ns=us(args.period_us),
+        size_bytes=args.size_bytes,
+    )
+    if args.optimize:
+        if args.deadline_us is not None:
+            flows = FlowSet(
+                [
+                    flow.with_updates(deadline_ns=us(args.deadline_us))
+                    for flow in flows
+                ]
+            )
+        search = optimize(
+            topology,
+            flows,
+            aggregate_switch_entries=args.aggregate,
+            name=f"optimized-{args.topology}",
+        )
+        config = search.best.config
+        note = (
+            f"# optimized: slot {search.best.slot_ns / 1000:g}us, "
+            f"L_max {search.best.worst_latency_ns / 1000:g}us, "
+            f"{config.total_bram_kb:g}Kb BRAM"
+        )
+    else:
+        result = derive_config(
+            topology,
+            flows,
+            us(args.slot_us),
+            name=f"sized-{args.topology}",
+            gate_mechanism=args.gate_mechanism,
+        )
+        config = result.config
+        note = (
+            f"# total {config.total_bram_kb:g}Kb BRAM; ITP needs queue "
+            f"depth {result.required_queue_depth}, configured "
+            f"{config.queue_depth}"
+        )
+    payload = config.to_json()
+    if args.output:
+        args.output.write_text(payload)
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    print(note, file=sys.stderr)
+    return 0
+
+
+def _cmd_emit_rtl(args: argparse.Namespace) -> int:
+    if args.preset:
+        config = _PRESETS[args.preset]()
+    else:
+        config = SwitchConfig.from_json(args.config.read_text())
+    builder = TSNBuilder(platform="rtl")
+    builder.customize(config)
+    model = builder.synthesize()
+    files = model.emit_verilog(args.outdir)
+    for path in files:
+        print(path)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.from_file(args.scenario)
+    if args.check:
+        from repro.core.validation import Severity, check_deployment
+
+        topology = spec.build_topology()
+        flows = spec.build_flows()
+        config = spec.build_config(topology, flows)
+        violations = check_deployment(
+            config, topology, flows, spec.slot_ns,
+            gate_mechanism=spec.gate_mechanism,
+            aggregate_routes=bool(spec.extras.get("aggregate_routes")),
+        )
+        for violation in violations:
+            print(violation)
+        errors = [v for v in violations
+                  if v.severity is Severity.ERROR]
+        print(f"# {len(errors)} error(s), "
+              f"{len(violations) - len(errors)} warning(s)",
+              file=sys.stderr)
+        return 1 if errors else 0
+    result = spec.run()
+    summary = result_summary(result)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.summary_json:
+        args.summary_json.write_text(
+            json.dumps(summary, indent=2, sort_keys=True)
+        )
+    ts = summary["classes"]["TS"]
+    if ts.get("received") and ts["loss"] == 0.0:
+        print("# TS: zero loss", file=sys.stderr)
+    return 0
+
+
+_HANDLERS = {
+    "report": _cmd_report,
+    "size": _cmd_size,
+    "emit-rtl": _cmd_emit_rtl,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except TsnBuilderError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Published parameter sets used by the paper's evaluation.
+
+Two sources:
+
+* The **Broadcom BCM53154** datasheet parameters the paper uses as its COTS
+  baseline (Section IV.B): 4 TSN ports, 16K MAC entries, 1K classification
+  entries, 512 meters, 8 queues/shapers per port, 1 MB total buffer.  The
+  datasheet only gives a rough description; the paper sets every unknown
+  parameter equal to the customized value, and we do the same.
+
+* The **customized** configurations for the three evaluated topologies
+  (star / linear / ring) and the two motivation cases of Table I.
+
+These functions exist so benchmarks and tests reference the published
+numbers from one place.
+"""
+
+from __future__ import annotations
+
+from .config import SwitchConfig
+
+__all__ = [
+    "bcm53154_config",
+    "customized_config",
+    "star_config",
+    "linear_config",
+    "ring_config",
+    "table1_case1",
+    "table1_case2",
+    "TOPOLOGY_PORTS",
+]
+
+#: Enabled TSN ports per evaluated topology (paper Section IV.A): star core
+#: node has 3 children, linear nodes forward bidirectionally on 2 ports, ring
+#: nodes forward unidirectionally on 1 port.
+TOPOLOGY_PORTS = {"star": 3, "linear": 2, "ring": 1}
+
+
+def bcm53154_config() -> SwitchConfig:
+    """The commercial baseline column of Table III (4 ports, 10818 Kb)."""
+    return SwitchConfig(
+        name="BCM53154 (commercial)",
+        port_num=4,
+        unicast_size=16 * 1024,  # 16K MAC entries
+        multicast_size=0,
+        class_size=1024,         # 1K classification entries
+        meter_size=512,          # 512 meters
+        gate_size=2,             # CQF: two-entry GCLs (set as customized)
+        queue_num=8,             # 8 queues per port
+        cbs_map_size=8,          # 8 shapers per port
+        cbs_size=8,
+        queue_depth=16,          # Table I Case 1 / Table III commercial column
+        buffer_num=128,          # ~1 MB buffer: 128 x 2048 B x 4 ports
+    )
+
+
+def customized_config(
+    port_num: int,
+    name: str = "customized",
+    flow_count: int = 1024,
+    queue_depth: int = 12,
+    buffer_num: int = 96,
+    rc_queue_num: int = 3,
+) -> SwitchConfig:
+    """A Table III customized column for *port_num* enabled ports.
+
+    Defaults reproduce the paper's evaluation: 1024 TS flows (so 1024-entry
+    switch/class/meter tables), CQF two-entry gate tables, three RC queues
+    per port, queue depth 12 and 96 buffers per port (ITP-sized, Table I
+    Case 2).
+    """
+    return SwitchConfig(
+        name=name,
+        port_num=port_num,
+        unicast_size=flow_count,
+        multicast_size=0,
+        class_size=flow_count,
+        meter_size=flow_count,
+        gate_size=2,
+        queue_num=8,
+        cbs_map_size=rc_queue_num,
+        cbs_size=rc_queue_num,
+        queue_depth=queue_depth,
+        buffer_num=buffer_num,
+    )
+
+
+def star_config() -> SwitchConfig:
+    """Customized switch for the star topology (3 ports, 5778 Kb, -46.59%)."""
+    return customized_config(TOPOLOGY_PORTS["star"], "Customized (Star, 3 ports)")
+
+
+def linear_config() -> SwitchConfig:
+    """Customized switch for the linear topology (2 ports, 3942 Kb, -63.56%)."""
+    return customized_config(TOPOLOGY_PORTS["linear"], "Customized (Linear, 2 ports)")
+
+
+def ring_config() -> SwitchConfig:
+    """Customized switch for the ring topology (1 port, 2106 Kb, -80.53%)."""
+    return customized_config(TOPOLOGY_PORTS["ring"], "Customized (Ring, 1 port)")
+
+
+def table1_case1() -> SwitchConfig:
+    """Motivation Table I, Case 1: 8 queues x 16 deep, 128 buffers, 1 port."""
+    return customized_config(
+        port_num=1, name="Table I Case 1", queue_depth=16, buffer_num=128
+    )
+
+
+def table1_case2() -> SwitchConfig:
+    """Motivation Table I, Case 2: 8 queues x 12 deep, 96 buffers, 1 port."""
+    return customized_config(
+        port_num=1, name="Table I Case 2", queue_depth=12, buffer_num=96
+    )

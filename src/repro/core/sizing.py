@@ -1,0 +1,147 @@
+"""Resource-sizing guidelines (paper Section III.C, second stage).
+
+``derive_config`` turns application features -- a topology and a flow set --
+into the resource parameters the customization APIs inject, following the
+paper's five guidelines:
+
+1. **Switch/Classification/Meter tables** (shared): one entry per
+   application flow in the worst case.
+2. **In/Out gate tables** (per port): one entry per time slot in the
+   scheduling cycle (LCM of flow periods); CQF's cyclic two-queue operation
+   compresses this to exactly 2.
+3. **CBS map/CBS tables** (per port): one entry per RC queue.
+4. **Queues/buffers**: each queue must hold every packet arriving in one
+   slot -- obtained from the ITP plan's worst per-slot load -- and the
+   per-port buffer pool backs all queues at full depth
+   (``buffer_num = queue_depth * queue_num``, which is exactly how the
+   paper's 16x8 -> 128 and 12x8 -> 96 figures decompose).
+5. **Enabled ports**: the topology's per-switch maximum.
+
+The derived depth carries an engineering margin: the ITP bound is exact for
+the planned TS traffic but leaves no room for phase error, so the guideline
+scales it by ``queue_depth_margin`` (default 1.5x) and rounds up to a
+multiple of 4 descriptors.  With the paper's workload (1024 flows of period
+10 ms on 62.5 us slots -> 7 frames/slot worst case) this yields depth 12 and
+96 buffers -- the paper's Table I Case 2 / Table III customized column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cqf.itp import ItpPlan, ItpPlanner
+from repro.cqf.schedule import CqfSchedule, scheduling_cycle_ns
+from repro.traffic.flows import FlowSet
+from .config import SwitchConfig
+from .errors import SchedulingError
+
+__all__ = ["SizingResult", "derive_config"]
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """A derived configuration plus the evidence behind it."""
+
+    config: SwitchConfig
+    schedule: CqfSchedule
+    itp_plan: ItpPlan
+    required_queue_depth: int
+
+    @property
+    def depth_margin_frames(self) -> int:
+        """Slack descriptors between requirement and configured depth."""
+        return self.config.queue_depth - self.required_queue_depth
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+def derive_config(
+    topology,
+    flows: FlowSet,
+    slot_ns: int,
+    name: str = "derived",
+    gate_mechanism: str = "cqf",
+    rc_queue_num: int = 3,
+    queue_num: int = 8,
+    queue_depth_margin: float = 1.5,
+    depth_round_to: int = 4,
+    rate_bps: int = 10**9,
+    max_enabled_ports: Optional[int] = None,
+    replication_factor: int = 1,
+) -> SizingResult:
+    """Apply the five guidelines to one scenario.
+
+    *topology* is a :class:`~repro.network.topology.TopologySpec` (typed
+    loosely to keep :mod:`repro.core` import-light); pass
+    ``max_enabled_ports`` explicitly to size without a topology object.
+
+    ``gate_mechanism`` selects guideline 2's arithmetic: ``"cqf"`` gives the
+    two-entry gate tables of the evaluation; ``"qbv"`` sizes for a general
+    802.1Qbv schedule with one entry per slot of the scheduling cycle.
+
+    ``replication_factor`` scales the per-flow table entries for redundant
+    transmission: FRER (802.1CB) sends each TS flow as two member streams,
+    each needing its own classification/forwarding/meter entry, so pass 2.
+    """
+    if gate_mechanism not in ("cqf", "qbv"):
+        raise SchedulingError(
+            f"unknown gate mechanism {gate_mechanism!r}; use 'cqf' or 'qbv'"
+        )
+    if max_enabled_ports is None:
+        max_enabled_ports = topology.max_enabled_ports
+    if replication_factor < 1:
+        raise SchedulingError(
+            f"replication factor must be >= 1, got {replication_factor}"
+        )
+    flow_count = len(flows) * replication_factor
+    if flow_count == 0:
+        raise SchedulingError("cannot size a switch for zero flows")
+
+    # Guideline 2: scheduling cycle and gate-table size.
+    periods = flows.ts_periods()
+    if not periods:
+        raise SchedulingError("sizing needs at least one TS flow")
+    cycle_ns = scheduling_cycle_ns(periods)
+    schedule = CqfSchedule.for_flows(periods, slot_ns)
+    if gate_mechanism == "cqf":
+        gate_size = 2
+    else:
+        gate_size = schedule.slot_count
+
+    # Guideline 4: queue depth from the ITP plan's worst per-slot load.
+    planner = ItpPlanner(schedule, rate_bps)
+    plan = planner.plan(list(flows))
+    required_depth = max(1, plan.required_queue_depth)
+    depth = _round_up(
+        max(required_depth, math.ceil(required_depth * queue_depth_margin)),
+        depth_round_to,
+    )
+    buffer_num = depth * queue_num
+
+    config = SwitchConfig(
+        name=name,
+        port_num=max_enabled_ports,
+        # Guideline 1: shared tables sized to the flow count.
+        unicast_size=flow_count,
+        multicast_size=0,
+        class_size=flow_count,
+        meter_size=flow_count,
+        gate_size=gate_size,
+        queue_num=queue_num,
+        # Guideline 3: one CBS map/table entry per RC queue.
+        cbs_map_size=rc_queue_num,
+        cbs_size=rc_queue_num,
+        queue_depth=depth,
+        buffer_num=buffer_num,
+    )
+    config.validate()
+    return SizingResult(
+        config=config,
+        schedule=schedule,
+        itp_plan=plan,
+        required_queue_depth=required_depth,
+    )

@@ -1,0 +1,57 @@
+"""Analytic CQF latency bounds (paper Eq. (1)).
+
+Under Cyclic Queuing and Forwarding the end-to-end latency of a TS packet
+that traverses ``hop`` switches with time slot ``slot_size`` is bounded by::
+
+    L_max = (hop + 1) * slot_size
+    L_min = (hop - 1) * slot_size
+
+The intuition: a packet received by a switch during slot *k* is transmitted
+during slot *k+1*, so each hop contributes exactly one slot of progress; the
++-1 slot captures where within its injection slot the packet was sent and
+where within the delivery slot it arrives.
+
+These bounds are what Fig. 7 validates empirically; the benchmark harness
+asserts every simulated TS latency falls inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SchedulingError
+
+__all__ = ["CqfBounds", "cqf_bounds"]
+
+
+@dataclass(frozen=True)
+class CqfBounds:
+    """The Eq. (1) latency window for one (hop count, slot size) pair."""
+
+    hops: int
+    slot_ns: int
+
+    @property
+    def min_ns(self) -> int:
+        return (self.hops - 1) * self.slot_ns
+
+    @property
+    def max_ns(self) -> int:
+        return (self.hops + 1) * self.slot_ns
+
+    @property
+    def mean_ns(self) -> float:
+        """Centre of the window -- the expected latency, ``hop * slot``."""
+        return float(self.hops * self.slot_ns)
+
+    def contains(self, latency_ns: int) -> bool:
+        return self.min_ns <= latency_ns <= self.max_ns
+
+
+def cqf_bounds(hops: int, slot_ns: int) -> CqfBounds:
+    """Eq. (1) bounds; validates arguments."""
+    if hops < 1:
+        raise SchedulingError(f"hop count must be >= 1, got {hops}")
+    if slot_ns <= 0:
+        raise SchedulingError(f"slot size must be positive, got {slot_ns}")
+    return CqfBounds(hops, slot_ns)

@@ -1,0 +1,87 @@
+"""Static GCL generation for Cyclic Queuing and Forwarding (802.1Qch).
+
+The paper's evaluation "put[s] a static configuration on the In/Out Gate
+Control list to implement [the] Cyclic Queuing and Forwarding model (CQF),
+where two TSN queues perform enqueue and dequeue operations in a cyclic
+manner" -- which is why ``gate_size = 2`` suffices in Table III.
+
+:func:`cqf_gcl_entries` produces exactly that two-entry configuration for a
+queue pair (A, B):
+
+=========  ====================  ====================
+slot       in-gates open         out-gates open
+=========  ====================  ====================
+even       A  (+ all non-TS)     B  (+ all non-TS)
+odd        B  (+ all non-TS)     A  (+ all non-TS)
+=========  ====================  ====================
+
+So arrivals during a slot gather in one queue while the previous slot's
+gathered packets drain from the other; the roles swap each slot boundary.
+Non-TS queues stay open in every entry -- RC/BE traffic is regulated by
+priority and CBS, not by gates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.errors import SchedulingError
+from repro.switch.gates import CqfPair
+from repro.switch.tables import GateEntry
+
+__all__ = ["cqf_gcl_entries", "DEFAULT_TS_QUEUE_PAIR", "cqf_port_program"]
+
+#: The evaluation maps TS traffic to the two highest-priority queues.
+DEFAULT_TS_QUEUE_PAIR: Tuple[int, int] = (6, 7)
+
+
+def _mask_of(queues: Sequence[int]) -> int:
+    mask = 0
+    for queue in queues:
+        if not 0 <= queue <= 7:
+            raise SchedulingError(f"queue id {queue} outside 0..7")
+        mask |= 1 << queue
+    return mask
+
+
+def cqf_gcl_entries(
+    slot_ns: int,
+    pair: Tuple[int, int] = DEFAULT_TS_QUEUE_PAIR,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry]]:
+    """Build the (in_entries, out_entries) two-entry CQF lists.
+
+    Returns lists ready for :meth:`TsnSwitch.program_gcls`.
+    """
+    if slot_ns <= 0:
+        raise SchedulingError(f"slot size must be positive, got {slot_ns}")
+    queue_a, queue_b = pair
+    if queue_a == queue_b:
+        raise SchedulingError("CQF pair must use two distinct queues")
+    for queue in pair:
+        if queue >= queue_num:
+            raise SchedulingError(
+                f"CQF queue {queue} outside the {queue_num} configured queues"
+            )
+    non_ts = _mask_of(
+        [q for q in range(queue_num) if q not in pair]
+    )
+    open_a = non_ts | (1 << queue_a)
+    open_b = non_ts | (1 << queue_b)
+    in_entries = [GateEntry(open_a, slot_ns), GateEntry(open_b, slot_ns)]
+    out_entries = [GateEntry(open_b, slot_ns), GateEntry(open_a, slot_ns)]
+    return in_entries, out_entries
+
+
+def cqf_port_program(
+    slot_ns: int,
+    pair: Tuple[int, int] = DEFAULT_TS_QUEUE_PAIR,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry], List[CqfPair]]:
+    """Everything ``program_gcls`` needs for one CQF port.
+
+    >>> in_e, out_e, pairs = cqf_port_program(slot_ns=65_000)
+    >>> switch.program_gcls(0, in_e, out_e, pairs)      # doctest: +SKIP
+    """
+    in_entries, out_entries = cqf_gcl_entries(slot_ns, pair, queue_num)
+    return in_entries, out_entries, [CqfPair(*pair)]

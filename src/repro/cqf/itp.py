@@ -1,0 +1,226 @@
+"""Injection Time Planning (ITP) -- when should each TS flow inject?
+
+The paper sizes its queues "with our flow scheduling algorithm [24]" (Yan et
+al., *Injection Time Planning: Making CQF Practical in Time-Sensitive
+Networking*, INFOCOM 2020).  The idea: under CQF a packet injected during
+slot *s* occupies the gathering queue of slot *s* on every hop, so the
+*injection slot choice* alone decides per-slot queue occupancy network-wide.
+Left unplanned (all flows injecting at period start), 1024 flows pile into
+one slot and need 1024 descriptors of queue depth; spread across the ~153
+slots of a 10 ms period they need only ~7 -- which is exactly why the
+paper's customized queue depth of 8-12 is safe.
+
+:class:`ItpPlanner` implements the greedy load-balancing core: flows are
+processed in decreasing bandwidth-demand order and each picks the feasible
+injection slot that minimizes the worst per-slot load it touches.  The
+resulting :class:`ItpPlan` reports the achieved ``max_frames_per_slot`` --
+the queue-depth requirement the sizing guidelines consume -- and concrete
+injection timestamps for the traffic generators.
+
+The load model is network-global (all TS flows of the evaluated scenarios
+share the ring/linear/star trunk path, so the busiest egress port sees every
+flow); a per-port refinement would only relax the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SchedulingError
+from repro.core.units import GIGABIT, serialization_ns, wire_bytes
+from repro.traffic.flows import FlowSpec, TrafficClass
+from .schedule import CqfSchedule
+
+__all__ = ["ItpAssignment", "ItpPlan", "ItpPlanner", "unplanned_plan"]
+
+
+@dataclass(frozen=True)
+class ItpAssignment:
+    """One flow's planned injection: slot offset + phase within the slot."""
+
+    flow_id: int
+    offset_slot: int      # slot index within the flow's own period
+    phase_ns: int         # offset into the slot (staggers same-slot flows)
+    period_slots: int     # the flow's period expressed in slots
+
+
+@dataclass
+class ItpPlan:
+    """Outcome of planning one TS flow set onto a schedule."""
+
+    schedule: CqfSchedule
+    assignments: Dict[int, ItpAssignment] = field(default_factory=dict)
+    slot_frames: List[int] = field(default_factory=list)
+    slot_bytes: List[int] = field(default_factory=list)
+
+    @property
+    def max_frames_per_slot(self) -> int:
+        """Worst-case gathering-queue occupancy: the queue-depth requirement."""
+        return max(self.slot_frames, default=0)
+
+    @property
+    def max_bytes_per_slot(self) -> int:
+        return max(self.slot_bytes, default=0)
+
+    @property
+    def required_queue_depth(self) -> int:
+        """Paper III.C(4): 'the queue should hold all the packets that
+        arrive at the queue in the same slot'."""
+        return self.max_frames_per_slot
+
+    def load_balance_ratio(self) -> float:
+        """max/mean per-slot frames; 1.0 is a perfectly level plan."""
+        if not self.slot_frames or self.max_frames_per_slot == 0:
+            return 1.0
+        mean = sum(self.slot_frames) / len(self.slot_frames)
+        return self.max_frames_per_slot / mean if mean else float("inf")
+
+    def injection_ns(self, flow: FlowSpec, k: int) -> int:
+        """Absolute injection time of flow's *k*-th packet."""
+        assignment = self.assignments[flow.flow_id]
+        assert flow.period_ns is not None
+        return (
+            k * flow.period_ns
+            + assignment.offset_slot * self.schedule.slot_ns
+            + assignment.phase_ns
+        )
+
+
+class ItpPlanner:
+    """Greedy slot load balancing over one CQF schedule."""
+
+    def __init__(self, schedule: CqfSchedule, rate_bps: int = GIGABIT):
+        self.schedule = schedule
+        self.rate_bps = rate_bps
+
+    def plan(
+        self,
+        flows: Sequence[FlowSpec],
+        slot_utilization_limit: float = 0.5,
+    ) -> ItpPlan:
+        """Assign every TS flow in *flows* an injection slot and phase.
+
+        *slot_utilization_limit* bounds how much of a slot's wire time the
+        planner may fill with TS frames: CQF needs every gathered frame
+        drained within the next slot, and headroom must remain for one
+        in-flight lower-priority MTU frame at each hop.  Exceeding the limit
+        raises :class:`SchedulingError` -- the flow set is infeasible at
+        this slot size.
+        """
+        ts_flows = [f for f in flows if f.traffic_class is TrafficClass.TS]
+        slot_count = self.schedule.slot_count
+        plan = ItpPlan(
+            self.schedule,
+            slot_frames=[0] * slot_count,
+            slot_bytes=[0] * slot_count,
+        )
+        budget_bytes = int(
+            self.schedule.capacity_bytes(self.rate_bps) * slot_utilization_limit
+        )
+        # Largest bandwidth demand first: the classic greedy-balance order.
+        ordered = sorted(
+            ts_flows, key=lambda f: (-f.effective_rate_bps, f.flow_id)
+        )
+        for flow in ordered:
+            self._place(flow, plan, budget_bytes)
+        self._assign_phases(plan, ts_flows)
+        return plan
+
+    # ----------------------------------------------------------- internals
+
+    def _period_slots(self, flow: FlowSpec) -> int:
+        assert flow.period_ns is not None
+        if flow.period_ns % self.schedule.slot_ns:
+            raise SchedulingError(
+                f"flow {flow.flow_id}: period {flow.period_ns}ns is not a "
+                f"multiple of the slot {self.schedule.slot_ns}ns"
+            )
+        return flow.period_ns // self.schedule.slot_ns
+
+    def _place(self, flow: FlowSpec, plan: ItpPlan, budget_bytes: int) -> None:
+        period_slots = self._period_slots(flow)
+        slot_count = self.schedule.slot_count
+        occupancy = wire_bytes(flow.size_bytes)
+        best_offset: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for offset in range(period_slots):
+            touched = range(offset, slot_count, period_slots)
+            worst_frames = max(plan.slot_frames[s] for s in touched)
+            total_bytes = max(plan.slot_bytes[s] for s in touched)
+            if total_bytes + occupancy > budget_bytes:
+                continue
+            key = (worst_frames, total_bytes)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_offset = offset
+        if best_offset is None:
+            raise SchedulingError(
+                f"flow {flow.flow_id}: no injection slot keeps per-slot TS "
+                f"load within {budget_bytes}B -- reduce flows or widen slots"
+            )
+        for s in range(best_offset, slot_count, period_slots):
+            plan.slot_frames[s] += 1
+            plan.slot_bytes[s] += occupancy
+        plan.assignments[flow.flow_id] = ItpAssignment(
+            flow.flow_id, best_offset, phase_ns=0, period_slots=period_slots
+        )
+
+    def _assign_phases(self, plan: ItpPlan, flows: Sequence[FlowSpec]) -> None:
+        """Stagger same-slot flows so talker NICs do not burst.
+
+        Flows sharing an injection slot get consecutive phases spaced by
+        one wire time of their frame, keeping the gathered burst compact at
+        the head of the slot (maximizing drain margin in the next slot).
+        """
+        next_phase: Dict[int, int] = {}
+        for flow in flows:
+            if flow.flow_id not in plan.assignments:
+                continue
+            assignment = plan.assignments[flow.flow_id]
+            slot = assignment.offset_slot % self.schedule.slot_count
+            phase = next_phase.get(slot, 0)
+            next_phase[slot] = phase + serialization_ns(
+                wire_bytes(flow.size_bytes), self.rate_bps
+            )
+            plan.assignments[flow.flow_id] = ItpAssignment(
+                flow.flow_id,
+                assignment.offset_slot,
+                phase_ns=phase,
+                period_slots=assignment.period_slots,
+            )
+
+
+def unplanned_plan(
+    schedule: CqfSchedule,
+    flows: Sequence[FlowSpec],
+    rate_bps: int = GIGABIT,
+) -> ItpPlan:
+    """The no-ITP strawman: every flow injects at its period start.
+
+    All same-period flows collide in slot 0, so ``required_queue_depth``
+    approaches the flow count -- the ablation benchmark uses this to show
+    what ITP buys.
+    """
+    ts_flows = [f for f in flows if f.traffic_class is TrafficClass.TS]
+    slot_count = schedule.slot_count
+    plan = ItpPlan(
+        schedule, slot_frames=[0] * slot_count, slot_bytes=[0] * slot_count
+    )
+    phase: Dict[int, int] = {}
+    for flow in ts_flows:
+        assert flow.period_ns is not None
+        if flow.period_ns % schedule.slot_ns:
+            raise SchedulingError(
+                f"flow {flow.flow_id}: period not slot-aligned"
+            )
+        period_slots = flow.period_ns // schedule.slot_ns
+        for s in range(0, slot_count, period_slots):
+            plan.slot_frames[s] += 1
+            plan.slot_bytes[s] += wire_bytes(flow.size_bytes)
+        p = phase.get(0, 0)
+        phase[0] = p + serialization_ns(wire_bytes(flow.size_bytes), rate_bps)
+        plan.assignments[flow.flow_id] = ItpAssignment(
+            flow.flow_id, 0, phase_ns=p, period_slots=period_slots
+        )
+    return plan

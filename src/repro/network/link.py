@@ -1,0 +1,94 @@
+"""Point-to-point Ethernet links.
+
+A :class:`Link` binds one transmitter (an :class:`~repro.switch.port.
+EgressPort`, whether on a switch or in a host NIC) to one receiver callback,
+adding the cable's propagation delay.  The testbed's 1 Gbps copper runs are
+short; the default 500 ns models ~100 m of cable ( ~5 ns/m), and the value is
+per-link configurable for studies on longer spans.
+
+Serialization time lives in the port (it depends on the port rate); the
+link is purely a delay line that never reorders.  For failure-injection
+studies it can *drop*: ``error_rate`` models FCS corruption (the receiver
+discards the frame, as a real MAC does), drawn from a seeded RNG so lossy
+runs stay reproducible.  ``fail()``/``restore()`` model a cable pull.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.switch.packet import EthernetFrame
+from repro.switch.port import EgressPort
+
+__all__ = ["Link", "DEFAULT_PROPAGATION_NS"]
+
+DEFAULT_PROPAGATION_NS = 500
+
+ReceiveFn = Callable[[EthernetFrame], None]
+
+
+class Link:
+    """A unidirectional delay line between an egress port and a receiver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: EgressPort,
+        receive: ReceiveFn,
+        propagation_ns: int = DEFAULT_PROPAGATION_NS,
+        error_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ) -> None:
+        if propagation_ns < 0:
+            raise ConfigurationError(
+                f"{name}: propagation delay must be >= 0, got {propagation_ns}"
+            )
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError(
+                f"{name}: error_rate must be in [0, 1], got {error_rate}"
+            )
+        if error_rate > 0.0 and rng is None:
+            raise ConfigurationError(
+                f"{name}: a lossy link needs a seeded rng for reproducibility"
+            )
+        self._sim = sim
+        self._receive = receive
+        self.propagation_ns = propagation_ns
+        self.error_rate = error_rate
+        self._rng = rng
+        self.name = name
+        self.frames_carried = 0
+        self.frames_corrupted = 0
+        self.frames_blackholed = 0
+        self._up = True
+        src.attach(self._carry)
+
+    # -------------------------------------------------------------- failure
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def fail(self) -> None:
+        """Cable pulled: every subsequent frame is lost until restore."""
+        self._up = False
+
+    def restore(self) -> None:
+        self._up = True
+
+    # ------------------------------------------------------------- carrying
+
+    def _carry(self, frame: EthernetFrame) -> None:
+        """Called by the port at last-bit-out; deliver after propagation."""
+        if not self._up:
+            self.frames_blackholed += 1
+            return
+        if self.error_rate and self._rng.random() < self.error_rate:
+            self.frames_corrupted += 1
+            return
+        self.frames_carried += 1
+        self._sim.schedule(self.propagation_ns, lambda: self._receive(frame))

@@ -1,0 +1,199 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures one complete experiment -- topology, flow
+set, switch configuration (explicit or guideline-derived), CQF slotting and
+run window -- as a plain JSON-compatible dictionary.  This is the file
+format behind ``python -m repro simulate`` and a convenient way to archive
+the exact conditions of a measurement next to its results.
+
+Example document::
+
+    {
+      "name": "ring-demo",
+      "topology": {"kind": "ring", "switch_count": 3,
+                    "talkers": ["talker0"], "listener": "listener"},
+      "flows": {"ts_count": 64, "period_us": 10000, "size_bytes": 64,
+                 "rc_mbps": 100, "be_mbps": 100},
+      "config": "derive",
+      "slot_us": 62.5,
+      "duration_ms": 40,
+      "seed": 0,
+      "gate_mechanism": "cqf"
+    }
+
+``"config": "derive"`` applies the Section III.C sizing guidelines to the
+declared flows; an object instead is interpreted as explicit
+:class:`~repro.core.config.SwitchConfig` fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigurationError
+from repro.core.sizing import derive_config
+from repro.core.units import mbps, us
+from repro.traffic.flows import FlowSet
+from repro.traffic.iec60802 import background_flows, production_cell_flows
+from .testbed import ScenarioResult, Testbed
+from .topology import (
+    TopologySpec,
+    dual_path_topology,
+    linear_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = ["ScenarioSpec"]
+
+_TOPOLOGY_BUILDERS = {
+    "ring": ring_topology,
+    "linear": linear_topology,
+    "star": star_topology,
+    "dual_path": dual_path_topology,
+}
+
+
+@dataclass
+class ScenarioSpec:
+    """One experiment, fully described."""
+
+    name: str
+    topology: Dict[str, Any]
+    flows: Dict[str, Any]
+    config: Union[str, Dict[str, Any]] = "derive"
+    slot_us: float = 62.5
+    duration_ms: float = 40.0
+    seed: int = 0
+    gate_mechanism: str = "cqf"
+    use_itp: bool = True
+    injection_phase: str = "planned"
+    rc_mbps: Optional[int] = None  # legacy alias; prefer flows.rc_mbps
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        payload = dict(data)
+        known = {
+            "name", "topology", "flows", "config", "slot_us", "duration_ms",
+            "seed", "gate_mechanism", "use_itp", "injection_phase",
+        }
+        extras = {k: payload.pop(k) for k in list(payload) if k not in known}
+        missing = {"name", "topology", "flows"} - set(payload)
+        if missing:
+            raise ConfigurationError(
+                f"scenario is missing required keys: {sorted(missing)}"
+            )
+        return cls(extras=extras, **payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "name": self.name,
+            "topology": self.topology,
+            "flows": self.flows,
+            "config": self.config,
+            "slot_us": self.slot_us,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            "gate_mechanism": self.gate_mechanism,
+            "use_itp": self.use_itp,
+            "injection_phase": self.injection_phase,
+        }
+        data.update(self.extras)
+        return data
+
+    # ------------------------------------------------------------ building
+
+    @property
+    def slot_ns(self) -> int:
+        return us(self.slot_us)
+
+    @property
+    def duration_ns(self) -> int:
+        return us(self.duration_ms * 1000)
+
+    def build_topology(self) -> TopologySpec:
+        params = dict(self.topology)
+        kind = params.pop("kind", None)
+        builder = _TOPOLOGY_BUILDERS.get(kind)
+        if builder is None:
+            raise ConfigurationError(
+                f"unknown topology kind {kind!r}; expected one of "
+                f"{sorted(_TOPOLOGY_BUILDERS)}"
+            )
+        return builder(**params)
+
+    def build_flows(self) -> FlowSet:
+        params = dict(self.flows)
+        talkers = self.topology.get("talkers", ["talker0"])
+        listener = self.topology.get("listener", "listener")
+        flow_set = production_cell_flows(
+            talkers,
+            listener,
+            flow_count=params.pop("ts_count", 64),
+            period_ns=us(params.pop("period_us", 10_000)),
+            size_bytes=params.pop("size_bytes", 64),
+        )
+        rc = params.pop("rc_mbps", 0)
+        be = params.pop("be_mbps", 0)
+        if rc or be:
+            for flow in background_flows(
+                talkers, listener, mbps(rc), mbps(be)
+            ):
+                flow_set.add(flow)
+        if params:
+            raise ConfigurationError(
+                f"unknown flow parameters: {sorted(params)}"
+            )
+        return flow_set
+
+    def build_config(
+        self, topology: TopologySpec, flows: FlowSet
+    ) -> SwitchConfig:
+        if self.config == "derive":
+            return derive_config(
+                topology, flows, self.slot_ns, name=self.name,
+                gate_mechanism=self.gate_mechanism,
+                # FRER member streams double the per-flow table demand
+                replication_factor=2 if self.extras.get("frer_ts") else 1,
+            ).config
+        if isinstance(self.config, Mapping):
+            return SwitchConfig.from_dict(
+                {"name": self.name, **self.config}
+            )
+        raise ConfigurationError(
+            f"config must be 'derive' or an object, got {self.config!r}"
+        )
+
+    def build_testbed(self) -> Testbed:
+        topology = self.build_topology()
+        flows = self.build_flows()
+        config = self.build_config(topology, flows)
+        return Testbed(
+            topology,
+            config,
+            flows,
+            slot_ns=self.slot_ns,
+            seed=self.seed,
+            gate_mechanism=self.gate_mechanism,
+            use_itp=self.use_itp,
+            injection_phase=self.injection_phase,
+            **self.extras,
+        )
+
+    def run(self) -> ScenarioResult:
+        return self.build_testbed().run(duration_ns=self.duration_ns)

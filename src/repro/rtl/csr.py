@@ -1,0 +1,206 @@
+"""Control/status register map generation.
+
+The prototype's embedded CPU "is used to configure the register and table
+entries at run-time" (paper Section IV.A) over FAST's register interface.
+This module derives that interface from a :class:`SwitchConfig`: a memory
+map with one window per customized table (depth = the injected size, one
+32-bit word per entry-beat), the per-port replication the per-port tables
+need, and standard ID/control/status registers.
+
+Three artifacts per configuration:
+
+* :class:`CsrMap` -- the in-memory model (used by tests and tools);
+* :func:`emit_c_header` -- ``tsn_csr.h`` with ``#define`` offsets for the
+  embedded firmware;
+* :func:`emit_markdown` -- a human-readable register-map document.
+
+Addresses are assigned sequentially with natural alignment, each window
+padded to a power of two so address decoding is a mask -- how real CSR
+generators (and the FAST framework) lay out windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigurationError
+
+__all__ = ["CsrWindow", "CsrMap", "build_csr_map", "emit_c_header",
+           "emit_markdown"]
+
+_WORD_BYTES = 4
+
+
+def _words_per_entry(width_bits: int) -> int:
+    return max(1, math.ceil(width_bits / 32))
+
+
+def _pow2_at_least(value: int) -> int:
+    return 1 << max(0, (value - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class CsrWindow:
+    """One address window: a register block or a table aperture."""
+
+    name: str
+    offset: int
+    size_bytes: int
+    entries: int
+    entry_width_bits: int
+    description: str
+    per_port_instance: Optional[int] = None  # port id, or None if shared
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size_bytes
+
+    def overlaps(self, other: "CsrWindow") -> bool:
+        return self.offset < other.end and other.offset < self.end
+
+    @property
+    def macro_name(self) -> str:
+        base = self.name.upper().replace(" ", "_").replace(".", "_")
+        return f"TSN_CSR_{base}"
+
+
+@dataclass
+class CsrMap:
+    """The full register map of one customized switch."""
+
+    config_name: str
+    windows: List[CsrWindow] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return max((w.end for w in self.windows), default=0)
+
+    def window(self, name: str) -> CsrWindow:
+        for candidate in self.windows:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no CSR window named {name!r}")
+
+    def validate(self) -> None:
+        """No overlaps, alignment respected."""
+        ordered = sorted(self.windows, key=lambda w: w.offset)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.overlaps(right):
+                raise ConfigurationError(
+                    f"CSR windows {left.name!r} and {right.name!r} overlap"
+                )
+        for window in self.windows:
+            if window.offset % _WORD_BYTES:
+                raise ConfigurationError(
+                    f"CSR window {window.name!r} not word aligned"
+                )
+
+
+def build_csr_map(config: SwitchConfig) -> CsrMap:
+    """Derive the register map from a configuration."""
+    config.validate()
+    csr = CsrMap(config.name)
+    cursor = 0
+
+    def add(name: str, entries: int, width_bits: int, description: str,
+            port: Optional[int] = None) -> None:
+        nonlocal cursor
+        words = entries * _words_per_entry(width_bits)
+        size = _pow2_at_least(max(words * _WORD_BYTES, _WORD_BYTES * 4))
+        cursor = (cursor + size - 1) // size * size  # natural alignment
+        csr.windows.append(
+            CsrWindow(
+                name=name,
+                offset=cursor,
+                size_bytes=size,
+                entries=entries,
+                entry_width_bits=width_bits,
+                description=description,
+                per_port_instance=port,
+            )
+        )
+        cursor += size
+
+    widths = config.widths
+    add("id", 4, 32, "device id, version, capability, scratch")
+    add("control", 4, 32, "enable, reset, gate base-time latch")
+    add("status", 8, 32, "counters snapshot, sync state")
+    add("unicast_tbl", config.unicast_size, widths.switch_tbl,
+        "Packet Switch unicast table")
+    if config.multicast_size:
+        add("multicast_tbl", config.multicast_size, widths.switch_tbl,
+            "Packet Switch multicast table")
+    add("class_tbl", config.class_size, widths.class_tbl,
+        "Ingress Filter classification table")
+    add("meter_tbl", config.meter_size, widths.meter_tbl,
+        "Ingress Filter meter table")
+    for port in range(config.port_num):
+        add(f"p{port}_in_gate_tbl", config.gate_size, widths.gate_tbl,
+            f"port {port} ingress GCL", port)
+        add(f"p{port}_out_gate_tbl", config.gate_size, widths.gate_tbl,
+            f"port {port} egress GCL", port)
+        add(f"p{port}_cbs_map_tbl", config.cbs_map_size,
+            widths.cbs_tbl_total // 2, f"port {port} CBS map table", port)
+        add(f"p{port}_cbs_tbl", config.cbs_size,
+            widths.cbs_tbl_total // 2, f"port {port} CBS table", port)
+    csr.validate()
+    return csr
+
+
+def emit_c_header(csr: CsrMap) -> str:
+    """``tsn_csr.h`` for the embedded control-plane firmware."""
+    lines = [
+        "/*",
+        f" * CSR map for TSN-Builder configuration '{csr.config_name}'.",
+        " * Generated -- do not edit; re-run the generator.",
+        " */",
+        "#ifndef TSN_CSR_H",
+        "#define TSN_CSR_H",
+        "",
+        f"#define TSN_CSR_SPAN 0x{csr.size_bytes:08X}u",
+        "",
+    ]
+    for window in csr.windows:
+        lines.append(f"/* {window.description} */")
+        lines.append(
+            f"#define {window.macro_name}_OFFSET 0x{window.offset:08X}u"
+        )
+        lines.append(
+            f"#define {window.macro_name}_SIZE   0x{window.size_bytes:08X}u"
+        )
+        lines.append(
+            f"#define {window.macro_name}_ENTRIES {window.entries}u"
+        )
+        lines.append("")
+    lines.append("#endif /* TSN_CSR_H */")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit_markdown(csr: CsrMap) -> str:
+    """A human-readable register-map table."""
+    lines = [
+        f"# CSR map — {csr.config_name}",
+        "",
+        f"Total span: {csr.size_bytes} bytes "
+        f"(0x{csr.size_bytes:X}).",
+        "",
+        "| window | offset | size | entries | entry width | scope |",
+        "|---|---|---|---|---|---|",
+    ]
+    for window in csr.windows:
+        scope = (
+            "shared"
+            if window.per_port_instance is None
+            else f"port {window.per_port_instance}"
+        )
+        lines.append(
+            f"| `{window.name}` | 0x{window.offset:06X} | "
+            f"{window.size_bytes} B | {window.entries} | "
+            f"{window.entry_width_bits} b | {scope} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Per-device local clocks with frequency drift.
+
+Real TSN devices derive their notion of time from a free-running local
+oscillator whose frequency deviates from nominal by tens of ppm.  gPTP's job
+(:mod:`repro.timesync`) is to discipline these local clocks to a grandmaster
+so gate schedules align network-wide.
+
+:class:`LocalClock` maps *perfect* simulation time to *local* time as a
+piecewise-linear function:
+
+    local(t) = base_local + (t - base_sim) * rate
+
+where ``rate = 1 + drift_ppm * 1e-6 + servo rate correction``.  The servo can
+step the phase (``step``) and slew the rate (``adjust_rate``); each
+adjustment starts a new linear segment anchored at the current instant, so
+time never jumps retroactively.
+
+Arithmetic is done in exact :class:`fractions.Fraction` ticks to keep the
+clock model bit-reproducible (no float accumulation error over long runs);
+reads are rounded to integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.errors import SimulationError
+from .kernel import Simulator
+
+__all__ = ["LocalClock", "PerfectClock"]
+
+
+class LocalClock:
+    """A drifting local oscillator, disciplinable by a servo.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying perfect time.
+    drift_ppm:
+        Constant oscillator frequency error in parts-per-million.  +10 means
+        the local clock runs fast by 10 us per second.
+    offset_ns:
+        Initial phase offset of the local clock (local - perfect at t=0).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        drift_ppm: float = 0.0,
+        offset_ns: int = 0,
+    ) -> None:
+        self._sim = sim
+        self._base_sim = sim.now
+        self._base_local = Fraction(sim.now + offset_ns)
+        self._nominal_rate = Fraction(1) + Fraction(drift_ppm).limit_denominator(
+            10**9
+        ) / Fraction(10**6)
+        self._rate_correction = Fraction(0)
+        self.drift_ppm = drift_ppm
+
+    # ------------------------------------------------------------- reading
+
+    def _local_exact(self, sim_time: Optional[int] = None) -> Fraction:
+        t = self._sim.now if sim_time is None else sim_time
+        if t < self._base_sim:
+            raise SimulationError("cannot read clock before its last adjustment")
+        return self._base_local + (t - self._base_sim) * self.rate
+
+    @property
+    def rate(self) -> Fraction:
+        """Current local-seconds-per-perfect-second ratio."""
+        return self._nominal_rate + self._rate_correction
+
+    @property
+    def nominal_rate(self) -> Fraction:
+        """The free-running oscillator rate (before servo correction)."""
+        return self._nominal_rate
+
+    @property
+    def rate_correction_ppm(self) -> float:
+        """The servo's currently applied rate correction, in ppm."""
+        return float(self._rate_correction) * 1e6
+
+    def now(self) -> int:
+        """Local time in integer nanoseconds at the current sim instant."""
+        return round(self._local_exact())
+
+    def offset_from_perfect(self) -> int:
+        """Signed error of this clock vs perfect simulation time (ns)."""
+        return self.now() - self._sim.now
+
+    # ---------------------------------------------------------- adjustment
+
+    def _rebase(self) -> None:
+        self._base_local = self._local_exact()
+        self._base_sim = self._sim.now
+
+    def step(self, delta_ns: int) -> None:
+        """Step the local phase by *delta_ns* (positive = advance)."""
+        self._rebase()
+        self._base_local += delta_ns
+
+    def adjust_rate(self, correction_ppm: float) -> None:
+        """Set the servo's rate correction (replaces any previous one)."""
+        self._rebase()
+        self._rate_correction = Fraction(correction_ppm).limit_denominator(
+            10**9
+        ) / Fraction(10**6)
+
+    def sim_delay_for_local(self, local_delta_ns: int) -> int:
+        """Perfect-time delay corresponding to *local_delta_ns* local ns.
+
+        Used to schedule periodic local-time activities (e.g. gPTP sync
+        transmission every 125 ms of *local* time) on the perfect-time
+        calendar.  Rounded to at least 1 ns so periodic processes always make
+        progress.
+        """
+        if local_delta_ns <= 0:
+            raise SimulationError("local delay must be positive")
+        exact = Fraction(local_delta_ns) / self.rate
+        return max(1, round(exact))
+
+
+class PerfectClock(LocalClock):
+    """A drift-free clock: always equal to simulation time."""
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(sim, drift_ppm=0.0, offset_ns=0)

@@ -1,0 +1,91 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` collects ``(time, category, message, fields)`` records from
+any component that was handed one.  Tracing is opt-in per category so the
+hot dataplane path pays a single dict lookup when a category is disabled.
+
+The analyzer does *not* use the tracer (it records packet receptions
+directly); the tracer exists for debugging scenarios and for the examples,
+which print annotated timelines of gate flips and enqueue/dequeue decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.units import fmt_time
+
+__all__ = ["Tracer", "TraceRecord", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line."""
+
+    time: int
+    category: str
+    message: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields)
+        body = f"[{fmt_time(self.time):>10}] {self.category}: {self.message}"
+        return f"{body} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects trace records for enabled categories.
+
+    >>> tracer = Tracer(enabled={"gate"})
+    >>> tracer.emit(0, "gate", "open", queue=3)
+    >>> tracer.emit(0, "queue", "enqueue")  # disabled: dropped
+    >>> len(tracer.records)
+    1
+    """
+
+    def __init__(
+        self,
+        enabled: Optional[Iterable[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self._enabled = set(enabled) if enabled is not None else None
+        self._sink = sink
+        self.records: List[TraceRecord] = []
+
+    def enabled_for(self, category: str) -> bool:
+        return self._enabled is None or category in self._enabled
+
+    def enable(self, category: str) -> None:
+        if self._enabled is None:
+            self._enabled = set()
+        self._enabled.add(category)
+
+    def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
+        """Record one line if *category* is enabled."""
+        if not self.enabled_for(category):
+            return
+        record = TraceRecord(time, category, message, tuple(fields.items()))
+        self.records.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class _NullTracer(Tracer):
+    """A tracer that drops everything (the dataplane default)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=())
+
+    def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
+        return
+
+
+#: Shared do-nothing tracer; components default to this.
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,259 @@
+"""The Gate Ctrl engine: driving queue gates from programmed GCLs.
+
+Each port owns two Gate Control Lists (paper Section III.A): the *in-GCL*
+gates enqueue eligibility, the *out-GCL* gates dequeue eligibility.  The
+:class:`GateEngine` walks both lists against the switch's (synchronized)
+local clock, flips the gate state masks at entry boundaries, and notifies
+the egress scheduler so a newly opened gate immediately re-arbitrates.
+
+Under CQF the two lists each have two entries that alternate a pair of TS
+queues every time slot: while queue A's in-gate is open (absorbing arrivals),
+queue B's out-gate is open (draining last slot's arrivals); next slot they
+swap.  :func:`repro.cqf.gcl_gen` generates exactly those entries.
+
+Non-TS queues are simply left open in every entry's mask, so RC/BE traffic
+is gated only by priority and CBS credit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.sim.clock import LocalClock
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+from .tables import GateControlList, GateEntry
+
+__all__ = ["GateEngine", "CqfPair"]
+
+#: Gate-flip events run before same-time frame events so a frame arriving at
+#: exactly a slot boundary sees the new slot's gate states (the hardware
+#: updates gate registers on the slot-boundary clock edge).
+GATE_EVENT_PRIORITY = -10
+
+
+class CqfPair:
+    """A pair of queues operated cyclically by CQF (802.1Qch).
+
+    ``members`` are the two queue ids; ingress enqueues into whichever
+    member's in-gate is currently open.
+    """
+
+    def __init__(self, first: int, second: int):
+        if first == second:
+            raise ConfigurationError("CQF pair needs two distinct queues")
+        self.members = (first, second)
+
+    def __contains__(self, queue_id: int) -> bool:
+        return queue_id in self.members
+
+    def __repr__(self) -> str:
+        return f"CqfPair{self.members}"
+
+
+class _GclWalker:
+    """Tracks one GCL's active entry against the local clock."""
+
+    def __init__(self, gcl: GateControlList):
+        self.gcl = gcl
+        self.index = 0
+        self.mask = 0xFF  # all open until programmed/started
+
+    @property
+    def entry(self) -> GateEntry:
+        return self.gcl.entries[self.index]
+
+    def advance(self) -> GateEntry:
+        self.index = (self.index + 1) % len(self.gcl.entries)
+        self.mask = self.entry.gate_states
+        return self.entry
+
+
+class GateEngine:
+    """Runs the in/out GCLs of one port.
+
+    Parameters
+    ----------
+    sim, clock:
+        Simulation kernel and the device's local clock.  Entry intervals are
+        expressed in local nanoseconds and converted through the clock, so a
+        drifting unsynchronized clock visibly skews slot boundaries (which
+        is what time sync exists to prevent).
+    on_change:
+        Called (with no arguments) after gate masks changed; the port's
+        egress scheduler hooks this to re-arbitrate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        in_gcl: GateControlList,
+        out_gcl: GateControlList,
+        clock: Optional[LocalClock] = None,
+        cqf_pairs: Sequence[CqfPair] = (),
+        on_change: Optional[Callable[[], None]] = None,
+        tracer: Tracer = NULL_TRACER,
+        name: str = "gate",
+    ) -> None:
+        self._sim = sim
+        self._clock = clock or LocalClock(sim)
+        self._in = _GclWalker(in_gcl)
+        self._out = _GclWalker(out_gcl)
+        self._cqf_pairs = list(cqf_pairs)
+        self._on_change = on_change
+        self._tracer = tracer
+        self._name = name
+        self._started = False
+        # Sim-time when the currently active entry of each walker began.
+        self._in_entry_start = 0
+        self._out_entry_start = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def in_gcl(self) -> GateControlList:
+        return self._in.gcl
+
+    @property
+    def out_gcl(self) -> GateControlList:
+        return self._out.gcl
+
+    def set_on_change(self, callback: Optional[Callable[[], None]]) -> None:
+        """Install the scheduler re-arbitration hook."""
+        self._on_change = callback
+
+    def program(
+        self,
+        in_entries: Sequence[GateEntry],
+        out_entries: Sequence[GateEntry],
+        cqf_pairs: Sequence[CqfPair] = (),
+    ) -> None:
+        """Program both GCLs and the CQF pair set (before ``start``)."""
+        if self._started:
+            raise ConfigurationError(f"{self._name}: already started")
+        self._in.gcl.program(list(in_entries))
+        self._out.gcl.program(list(out_entries))
+        self._cqf_pairs = list(cqf_pairs)
+
+    def start(self) -> None:
+        """Begin walking both GCLs from their first entries, now.
+
+        A real TAS aligns the cycle to a configured base time; the testbed
+        starts all engines at the same simulation instant, which is the
+        aligned case (time sync experiments perturb the clocks instead).
+        """
+        if self._started:
+            raise ConfigurationError(f"{self._name}: engine already started")
+        if len(self._in.gcl) == 0 or len(self._out.gcl) == 0:
+            raise ConfigurationError(
+                f"{self._name}: both GCLs must be programmed before start"
+            )
+        self._started = True
+        self._in.mask = self._in.entry.gate_states
+        self._out.mask = self._out.entry.gate_states
+        self._in_entry_start = self._sim.now
+        self._out_entry_start = self._sim.now
+        for walker, kind in ((self._in, "in"), (self._out, "out")):
+            self._tracer.emit(
+                self._sim.now,
+                "gate",
+                f"{self._name} {kind}-gates",
+                mask=f"{walker.mask:08b}",
+            )
+        self._schedule_flip(self._in, is_in=True)
+        self._schedule_flip(self._out, is_in=False)
+        self._notify()
+
+    def _schedule_flip(self, walker: _GclWalker, is_in: bool) -> None:
+        delay = self._clock.sim_delay_for_local(walker.entry.interval_ns)
+        self._sim.schedule(
+            delay,
+            lambda: self._flip(walker, is_in),
+            priority=GATE_EVENT_PRIORITY,
+        )
+
+    def _flip(self, walker: _GclWalker, is_in: bool) -> None:
+        walker.advance()
+        if is_in:
+            self._in_entry_start = self._sim.now
+        else:
+            self._out_entry_start = self._sim.now
+        self._tracer.emit(
+            self._sim.now,
+            "gate",
+            f"{self._name} {'in' if is_in else 'out'}-gates",
+            mask=f"{walker.mask:08b}",
+        )
+        self._schedule_flip(walker, is_in)
+        self._notify()
+
+    def _notify(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def in_mask(self) -> int:
+        return self._in.mask
+
+    @property
+    def out_mask(self) -> int:
+        return self._out.mask
+
+    def in_open(self, queue_id: int) -> bool:
+        """Is the enqueue gate of *queue_id* currently open?"""
+        return bool(self._in.mask >> queue_id & 1)
+
+    def out_open(self, queue_id: int) -> bool:
+        """Is the dequeue gate of *queue_id* currently open?"""
+        return bool(self._out.mask >> queue_id & 1)
+
+    def select_enqueue_queue(self, queue_id: int) -> Optional[int]:
+        """Resolve which queue should absorb a frame classified to *queue_id*.
+
+        If the queue belongs to a CQF pair, the open member of the pair is
+        returned (CQF enqueues into the gathering queue of the current
+        slot).  Otherwise *queue_id* itself is returned when its in-gate is
+        open, or ``None`` when closed (the frame is filtered -- a gate drop).
+        """
+        for pair in self._cqf_pairs:
+            if queue_id in pair:
+                for member in pair.members:
+                    if self.in_open(member):
+                        return member
+                return None
+        return queue_id if self.in_open(queue_id) else None
+
+    def time_until_out_close(self, queue_id: int) -> Optional[int]:
+        """Sim-ns until *queue_id*'s out-gate closes; None if it never does.
+
+        Used by the egress scheduler's guard band: a frame is started only
+        if its serialization completes before the gate closes, preventing
+        slot overruns (802.1Qbv transmission-window check).
+        """
+        if not self.out_open(queue_id):
+            return 0
+        entries = self._out.gcl.entries
+        if len(entries) == 1:
+            return None  # single always-matching entry: open forever
+        # Remaining time in the current entry, then walk ahead.
+        elapsed = self._sim.now - self._out_entry_start
+        current_len = self._clock.sim_delay_for_local(
+            entries[self._out.index].interval_ns
+        )
+        remaining = max(0, current_len - elapsed)
+        total = remaining
+        index = self._out.index
+        for _ in range(len(entries) - 1):
+            index = (index + 1) % len(entries)
+            entry = entries[index]
+            if not entry.is_open(queue_id):
+                return total
+            total += self._clock.sim_delay_for_local(entry.interval_ns)
+        return None  # open in every entry

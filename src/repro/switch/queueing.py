@@ -1,0 +1,154 @@
+"""Bounded metadata queues and the per-port packet buffer pool.
+
+These are the two resources the motivation experiment (paper Table I)
+customizes, and the dominant BRAM consumers in Table III.  Their *bounded*
+behaviour is the point: a queue beyond ``depth`` or an empty buffer pool
+drops the packet and counts it -- the QoS experiments exist to show the
+customized (smaller) sizes still never drop TS traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.core.errors import ConfigurationError
+from .packet import Descriptor, EthernetFrame
+
+__all__ = ["MetadataQueue", "BufferPool", "QueueStats", "PoolStats"]
+
+
+@dataclass
+class QueueStats:
+    """Occupancy and drop accounting of one queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    tail_drops: int = 0
+    gate_drops: int = 0          # arrived while the in-gate was closed
+    high_water: int = 0
+
+
+class MetadataQueue:
+    """A FIFO of packet descriptors with a hard depth bound.
+
+    ``depth`` is the ``queue_depth`` customization parameter: the number of
+    32-bit metadata words the queue's BRAM holds.
+    """
+
+    def __init__(self, depth: int, queue_id: int = 0):
+        if depth <= 0:
+            raise ConfigurationError(f"queue depth must be positive, got {depth}")
+        self.depth = depth
+        self.queue_id = queue_id
+        self._fifo: Deque[Descriptor] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __iter__(self):
+        """Iterate resident descriptors head-first (non-destructive)."""
+        return iter(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    def enqueue(self, descriptor: Descriptor) -> bool:
+        """Append; False (tail drop) when the queue is at depth."""
+        if self.full:
+            self.stats.tail_drops += 1
+            return False
+        self._fifo.append(descriptor)
+        self.stats.enqueued += 1
+        if len(self._fifo) > self.stats.high_water:
+            self.stats.high_water = len(self._fifo)
+        return True
+
+    def head(self) -> Optional[Descriptor]:
+        """Peek the head descriptor without removing it."""
+        return self._fifo[0] if self._fifo else None
+
+    def dequeue(self) -> Descriptor:
+        """Remove and return the head; IndexError if empty."""
+        descriptor = self._fifo.popleft()
+        self.stats.dequeued += 1
+        return descriptor
+
+    def drain(self) -> List[Descriptor]:
+        """Remove everything (used when tearing a scenario down)."""
+        items = list(self._fifo)
+        self._fifo.clear()
+        self.stats.dequeued += len(items)
+        return items
+
+
+@dataclass
+class PoolStats:
+    """Allocation accounting of one buffer pool."""
+
+    allocations: int = 0
+    releases: int = 0
+    exhaustion_drops: int = 0
+    high_water: int = 0
+
+
+class BufferPool:
+    """A fixed set of packet buffer slots for one port.
+
+    ``slots`` is the ``buffer_num`` customization parameter.  Slot ids are
+    recycled LIFO, which keeps high-water marks meaningful for sizing
+    studies (``stats.high_water`` is the minimum ``buffer_num`` that this
+    run would have needed).
+    """
+
+    def __init__(self, slots: int, slot_bytes: int = 2048):
+        if slots <= 0:
+            raise ConfigurationError(f"buffer slots must be positive, got {slots}")
+        if slot_bytes <= 0:
+            raise ConfigurationError(
+                f"slot size must be positive, got {slot_bytes}"
+            )
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._free: List[int] = list(range(slots - 1, -1, -1))
+        self.stats = PoolStats()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        return self.slots - len(self._free)
+
+    def allocate(self, frame: EthernetFrame) -> Optional[int]:
+        """Claim a slot for *frame*; None when exhausted (drop) or oversize."""
+        if frame.size_bytes > self.slot_bytes:
+            raise ConfigurationError(
+                f"frame of {frame.size_bytes}B exceeds buffer slot "
+                f"{self.slot_bytes}B"
+            )
+        if not self._free:
+            self.stats.exhaustion_drops += 1
+            return None
+        slot = self._free.pop()
+        self.stats.allocations += 1
+        if self.in_use > self.stats.high_water:
+            self.stats.high_water = self.in_use
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the pool."""
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(f"slot {slot} outside pool of {self.slots}")
+        if slot in self._free:
+            raise ConfigurationError(f"double release of slot {slot}")
+        self._free.append(slot)
+        self.stats.releases += 1

@@ -1,0 +1,111 @@
+"""Credit-based shaper (802.1Qav), the Egress Sched's RC-queue regulator.
+
+Credit evolves lazily between scheduler decisions:
+
+* while the shaped queue has backlog and the port sends other traffic,
+  credit rises at ``idleSlope`` (the reserved bandwidth);
+* while a frame of the shaped queue is transmitting, credit falls at
+  ``sendSlope`` (= idleSlope - port rate);
+* an empty queue with positive credit snaps to zero (no banking), while
+  negative credit recovers toward zero at ``idleSlope``.
+
+A queue is *eligible* only when credit >= 0.  Credit is held in exact
+integer bit-nanoseconds (slope_bps x elapsed_ns), avoiding float drift over
+long runs; ``credit_bits`` exposes it as a float only for inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.errors import SimulationError
+from .tables import CbsParams
+
+__all__ = ["CreditBasedShaper", "ShaperMode"]
+
+_NS_PER_S = 10**9
+
+
+class ShaperMode(enum.Enum):
+    """What the shaped queue is doing, as told by the scheduler."""
+
+    IDLE = "idle"          # queue empty
+    WAITING = "waiting"    # backlog present, not currently transmitting
+    SENDING = "sending"    # a frame of this queue occupies the port
+
+
+class CreditBasedShaper:
+    """One queue's CBS state machine."""
+
+    def __init__(self, params: CbsParams, name: str = "cbs"):
+        self.params = params
+        self.name = name
+        self._credit = 0          # bit-nanoseconds
+        self._last_ns = 0
+        self._mode = ShaperMode.IDLE
+
+    # ----------------------------------------------------------- accounting
+
+    def _slope(self) -> int:
+        if self._mode is ShaperMode.SENDING:
+            return self.params.send_slope_bps
+        return self.params.idle_slope_bps
+
+    def _accumulate(self, now_ns: int) -> None:
+        if now_ns < self._last_ns:
+            raise SimulationError(f"{self.name}: time moved backwards")
+        elapsed = now_ns - self._last_ns
+        if elapsed:
+            self._credit += self._slope() * elapsed
+            if self._mode is ShaperMode.IDLE and self._credit > 0:
+                self._credit = 0
+            self._last_ns = now_ns
+
+    # ---------------------------------------------------- scheduler interface
+
+    @property
+    def mode(self) -> ShaperMode:
+        return self._mode
+
+    def credit_bits(self, now_ns: int) -> float:
+        """Current credit in bits."""
+        self._accumulate(now_ns)
+        return self._credit / _NS_PER_S
+
+    def eligible(self, now_ns: int) -> bool:
+        """May the shaped queue start a frame now?"""
+        self._accumulate(now_ns)
+        return self._credit >= 0
+
+    def set_backlog(self, now_ns: int, has_backlog: bool) -> None:
+        """Scheduler reports the shaped queue's emptiness after en/dequeue."""
+        self._accumulate(now_ns)
+        if self._mode is ShaperMode.SENDING:
+            return  # transition resolved at end_transmission
+        self._mode = ShaperMode.WAITING if has_backlog else ShaperMode.IDLE
+        if self._mode is ShaperMode.IDLE and self._credit > 0:
+            self._credit = 0
+
+    def begin_transmission(self, now_ns: int) -> None:
+        self._accumulate(now_ns)
+        self._mode = ShaperMode.SENDING
+
+    def end_transmission(self, now_ns: int, has_backlog: bool) -> None:
+        self._accumulate(now_ns)
+        self._mode = ShaperMode.WAITING if has_backlog else ShaperMode.IDLE
+        if self._mode is ShaperMode.IDLE and self._credit > 0:
+            self._credit = 0
+
+    def ns_until_eligible(self, now_ns: int) -> Optional[int]:
+        """How long until credit recovers to zero, assuming WAITING.
+
+        None when already eligible.  The scheduler uses this to arm a
+        re-arbitration event instead of polling.
+        """
+        self._accumulate(now_ns)
+        if self._credit >= 0:
+            return None
+        deficit = -self._credit
+        slope = self.params.idle_slope_bps
+        return -(-deficit // slope)  # ceil division

@@ -1,0 +1,186 @@
+"""IEC 60802-guided industrial traffic profiles.
+
+Paper Section IV.A: "The features of TS flows that we generate are guided
+with the IEC 60802 standard that describes the typical flow features in the
+production cell and line.  In our experiments, we generate 1024 periodic TS
+flows and the period of each TS flow is 10ms.  The deadline of each TS flow
+is randomly selected from the set {1ms, 2ms, 4ms, 8ms}.  The packet size of
+these TS flows in each test is the same and selected from the set {64B,
+128B, 256B, 512B, 1024B, 1500B}. ... Since the RC/BE flows are background
+flows here, the packet size of each RC/BE flow is set as 1024B."
+
+:func:`production_cell_flows` reproduces exactly that generator;
+:func:`isochronous_cell_flows` and :func:`controller_to_controller_flows`
+add the two other canonical IEC 60802 traffic patterns for users modelling
+richer cells (shorter cyclic periods, larger c2c frames).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import mbps, ms, us
+from .flows import FlowSet, FlowSpec, TrafficClass
+
+__all__ = [
+    "DEADLINE_CHOICES_NS",
+    "TS_SIZE_CHOICES",
+    "production_cell_flows",
+    "background_flows",
+    "isochronous_cell_flows",
+    "controller_to_controller_flows",
+]
+
+#: Paper Section IV.A deadline set.
+DEADLINE_CHOICES_NS = (ms(1), ms(2), ms(4), ms(8))
+
+#: Paper Section IV.A / Fig 7(b) packet-size set.
+TS_SIZE_CHOICES = (64, 128, 256, 512, 1024, 1500)
+
+#: Background RC/BE frames are fixed at 1024 B.
+BACKGROUND_SIZE_BYTES = 1024
+
+
+def production_cell_flows(
+    talkers: Sequence[str],
+    listener: str,
+    flow_count: int = 1024,
+    period_ns: int = ms(10),
+    size_bytes: int = 64,
+    rng: Optional[random.Random] = None,
+    first_flow_id: int = 0,
+) -> FlowSet:
+    """The paper's TS workload: *flow_count* periodic flows, random deadlines.
+
+    Flows are dealt round-robin across *talkers* (the testbed's TSNNic
+    devices) toward a single *listener* (the TSN analyzer).
+    """
+    if not talkers:
+        raise ConfigurationError("need at least one talker")
+    if size_bytes not in TS_SIZE_CHOICES:
+        raise ConfigurationError(
+            f"TS size {size_bytes}B outside the IEC 60802 profile set "
+            f"{TS_SIZE_CHOICES}"
+        )
+    rng = rng or random.Random(0)
+    flows = FlowSet()
+    for i in range(flow_count):
+        flows.add(
+            FlowSpec(
+                flow_id=first_flow_id + i,
+                traffic_class=TrafficClass.TS,
+                src=talkers[i % len(talkers)],
+                dst=listener,
+                size_bytes=size_bytes,
+                period_ns=period_ns,
+                deadline_ns=rng.choice(DEADLINE_CHOICES_NS),
+            )
+        )
+    return flows
+
+
+def background_flows(
+    talkers: Sequence[str],
+    listener: str,
+    rc_rate_bps: int,
+    be_rate_bps: int,
+    size_bytes: int = BACKGROUND_SIZE_BYTES,
+    first_flow_id: int = 100_000,
+) -> FlowSet:
+    """One RC and one BE aggregate per talker, splitting the given rates.
+
+    ``rc_rate_bps``/``be_rate_bps`` are the *total* background loads (the
+    x-axes of Fig 2 and Fig 7(d)); each talker carries an equal share.
+    Zero rates simply produce no flows of that class.
+    """
+    if not talkers:
+        raise ConfigurationError("need at least one talker")
+    flows = FlowSet()
+    next_id = first_flow_id
+    for traffic_class, total_rate in (
+        (TrafficClass.RC, rc_rate_bps),
+        (TrafficClass.BE, be_rate_bps),
+    ):
+        if total_rate <= 0:
+            continue
+        share = total_rate // len(talkers)
+        if share <= 0:
+            raise ConfigurationError(
+                f"{traffic_class.name} rate {total_rate}bps too small to "
+                f"split across {len(talkers)} talkers"
+            )
+        for talker in talkers:
+            flows.add(
+                FlowSpec(
+                    flow_id=next_id,
+                    traffic_class=traffic_class,
+                    src=talker,
+                    dst=listener,
+                    size_bytes=size_bytes,
+                    rate_bps=share,
+                )
+            )
+            next_id += 1
+    return flows
+
+
+def isochronous_cell_flows(
+    talkers: Sequence[str],
+    listener: str,
+    flow_count: int = 64,
+    period_ns: int = us(250),
+    size_bytes: int = 128,
+    first_flow_id: int = 200_000,
+) -> FlowSet:
+    """Isochronous motion-control traffic: short period, tight deadline.
+
+    IEC 60802 traffic type "isochronous": cycle times down to 250 us with
+    the deadline equal to the period.
+    """
+    if not talkers:
+        raise ConfigurationError("need at least one talker")
+    flows = FlowSet()
+    for i in range(flow_count):
+        flows.add(
+            FlowSpec(
+                flow_id=first_flow_id + i,
+                traffic_class=TrafficClass.TS,
+                src=talkers[i % len(talkers)],
+                dst=listener,
+                size_bytes=size_bytes,
+                period_ns=period_ns,
+                deadline_ns=period_ns,
+            )
+        )
+    return flows
+
+
+def controller_to_controller_flows(
+    pairs: Sequence[Sequence[str]],
+    rate_bps: int = mbps(20),
+    size_bytes: int = 1024,
+    first_flow_id: int = 300_000,
+) -> FlowSet:
+    """Controller-to-controller RC traffic between station pairs.
+
+    IEC 60802 traffic type "network control / c2c": bandwidth-reserved,
+    large frames, no per-packet deadline -- mapped onto RC with CBS.
+    """
+    flows = FlowSet()
+    for i, pair in enumerate(pairs):
+        if len(pair) != 2:
+            raise ConfigurationError(f"pair {pair!r} must be (src, dst)")
+        src, dst = pair
+        flows.add(
+            FlowSpec(
+                flow_id=first_flow_id + i,
+                traffic_class=TrafficClass.RC,
+                src=src,
+                dst=dst,
+                size_bytes=size_bytes,
+                rate_bps=rate_bps,
+            )
+        )
+    return flows

@@ -1,0 +1,72 @@
+"""Paper-style table rendering."""
+
+from repro.analysis.report import (
+    render_series,
+    render_table,
+    render_table1,
+    render_table3,
+)
+from repro.analysis.stats import SweepPoint, SweepSeries
+from repro.core.presets import (
+    bcm53154_config,
+    linear_config,
+    ring_config,
+    star_config,
+    table1_case1,
+    table1_case2,
+)
+from repro.network.analyzer import LatencySummary
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
+
+
+class TestTable3:
+    def test_contains_paper_numbers(self):
+        text = render_table3(
+            bcm53154_config().resource_report("Commercial (4 ports)"),
+            [
+                star_config().resource_report("Star"),
+                linear_config().resource_report("Linear"),
+                ring_config().resource_report("Ring"),
+            ],
+        )
+        for token in ("10818Kb", "5778Kb", "3942Kb", "2106Kb",
+                      "-46.59%", "-63.56%", "-80.53%", "1152Kb", "8640Kb"):
+            assert token in text
+
+    def test_one_row_per_resource_plus_total(self):
+        text = render_table3(
+            bcm53154_config().resource_report("C"),
+            [ring_config().resource_report("R")],
+        )
+        lines = text.splitlines()
+        # title + header + rule + 7 resources + total
+        assert len(lines) == 11
+
+
+class TestTable1:
+    def test_contains_motivation_numbers(self):
+        text = render_table1(
+            table1_case1().resource_report("Case 1"),
+            table1_case2().resource_report("Case 2"),
+        )
+        assert "2304Kb" in text and "1764Kb" in text
+
+
+class TestSeries:
+    def test_renders_points(self):
+        series = SweepSeries("Fig 7(a)", "hops")
+        summary = LatencySummary(10, 100_000, 150_000, 125_000.0, 1_000.0,
+                                 150_000)
+        series.add(SweepPoint(1, "1", summary, loss=0.0))
+        text = render_series(series)
+        assert "Fig 7(a)" in text
+        assert "125.00" in text  # mean in us
+        assert "0.0000" in text  # loss

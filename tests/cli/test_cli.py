@@ -1,0 +1,164 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestReport:
+    def test_prints_table3(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "10818Kb" in out and "-80.53%" in out
+
+    def test_table1_flag(self, capsys):
+        assert main(["report", "--table1"]) == 0
+        out = capsys.readouterr().out
+        assert "2304Kb" in out and "1764Kb" in out
+
+
+class TestSize:
+    def test_stdout_json(self, capsys):
+        assert main(["size", "--topology", "ring", "--flows", "128"]) == 0
+        out = capsys.readouterr().out
+        config = json.loads(out)
+        assert config["unicast_size"] == 128
+        assert config["port_num"] == 1
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "config.json"
+        assert main(["size", "--flows", "64", "--output", str(target)]) == 0
+        assert json.loads(target.read_text())["unicast_size"] == 64
+
+    def test_qbv_mechanism(self, capsys):
+        assert main(["size", "--flows", "64",
+                     "--gate-mechanism", "qbv"]) == 0
+        config = json.loads(capsys.readouterr().out)
+        assert config["gate_size"] == 160  # slots per 10ms cycle
+
+    def test_star_ignores_switch_count(self, capsys):
+        assert main(["size", "--topology", "star", "--flows", "16"]) == 0
+        assert json.loads(capsys.readouterr().out)["port_num"] == 3
+
+
+class TestEmitRtl:
+    def test_preset(self, tmp_path, capsys):
+        assert main(["emit-rtl", "--preset", "ring",
+                     "--outdir", str(tmp_path)]) == 0
+        assert (tmp_path / "tsn_switch_top.v").exists()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["predicted_bram_kb"] == 2106
+
+    def test_config_file(self, tmp_path, capsys):
+        cfg = tmp_path / "c.json"
+        assert main(["size", "--flows", "32", "--output", str(cfg)]) == 0
+        outdir = tmp_path / "rtl"
+        assert main(["emit-rtl", "--config", str(cfg),
+                     "--outdir", str(outdir)]) == 0
+        assert (outdir / "gate_ctrl.v").exists()
+
+    def test_missing_config_file(self, tmp_path, capsys):
+        assert main(["emit-rtl", "--config", str(tmp_path / "nope.json"),
+                     "--outdir", str(tmp_path)]) == 2
+
+
+class TestSimulate:
+    def _scenario(self, tmp_path, **overrides):
+        data = {
+            "name": "cli-test",
+            "topology": {"kind": "ring", "switch_count": 2,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_count": 8},
+            "config": "derive",
+            "slot_us": 62.5,
+            "duration_ms": 15,
+        }
+        data.update(overrides)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_runs_and_prints_summary(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["simulate", str(path)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["classes"]["TS"]["loss"] == 0.0
+
+    def test_summary_json_file(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "summary.json"
+        assert main(["simulate", str(path), "--summary-json", str(out)]) == 0
+        assert json.loads(out.read_text())["classes"]["TS"]["received"] > 0
+
+    def test_bad_scenario_reports_error(self, tmp_path, capsys):
+        path = self._scenario(tmp_path, topology={"kind": "mesh"})
+        assert main(["simulate", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSizeOptimize:
+    def test_optimize_flag(self, capsys):
+        assert main(["size", "--flows", "128", "--optimize",
+                     "--deadline-us", "1000"]) == 0
+        captured = capsys.readouterr()
+        config = json.loads(captured.out)
+        assert config["queue_depth"] <= 12
+        assert "optimized" in captured.err
+
+    def test_optimize_with_aggregation(self, capsys):
+        assert main(["size", "--flows", "128", "--optimize",
+                     "--aggregate"]) == 0
+        config = json.loads(capsys.readouterr().out)
+        assert config["unicast_size"] == 1
+
+    def test_impossible_deadline_errors(self, capsys):
+        assert main(["size", "--flows", "128", "--optimize",
+                     "--deadline-us", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateCheck:
+    def _scenario(self, tmp_path, **overrides):
+        data = {
+            "name": "check-test",
+            "topology": {"kind": "ring", "switch_count": 2,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_count": 8},
+            "config": "derive",
+            "slot_us": 62.5,
+            "duration_ms": 15,
+        }
+        data.update(overrides)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_clean_deployment_passes(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["simulate", str(path), "--check"]) == 0
+        assert "0 error(s)" in capsys.readouterr().err
+
+    def test_undersized_config_fails_check(self, tmp_path, capsys):
+        explicit = {
+            "port_num": 1, "unicast_size": 2, "multicast_size": 0,
+            "class_size": 2, "meter_size": 2, "gate_size": 2,
+            "queue_num": 8, "cbs_map_size": 3, "cbs_size": 3,
+            "queue_depth": 8, "buffer_num": 64,
+        }
+        path = self._scenario(tmp_path, config=explicit)
+        assert main(["simulate", str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "class_tbl" in out

@@ -1,0 +1,116 @@
+"""SwitchConfig validation, resource view, and serialization."""
+
+import pytest
+
+from repro.core.config import EntryWidths, SwitchConfig
+from repro.core.errors import ConfigurationError
+from repro.core.presets import bcm53154_config, ring_config
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        SwitchConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "port_num",
+            "unicast_size",
+            "class_size",
+            "meter_size",
+            "gate_size",
+            "queue_num",
+            "cbs_map_size",
+            "cbs_size",
+            "queue_depth",
+            "buffer_num",
+        ],
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ConfigurationError):
+            SwitchConfig(**{field: 0}).validate()
+
+    def test_multicast_zero_allowed(self):
+        SwitchConfig(multicast_size=0).validate()
+
+    def test_multicast_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchConfig(multicast_size=-1).validate()
+
+    def test_cbs_map_exceeding_queues_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchConfig(cbs_map_size=9, queue_num=8).validate()
+
+    def test_buffers_below_one_queue_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchConfig(queue_depth=100, buffer_num=50).validate()
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchConfig(widths=EntryWidths(gate_tbl=0)).validate()
+
+
+class TestResourceView:
+    def test_multicast_table_omitted_when_zero(self):
+        names = [t.name for t in SwitchConfig(multicast_size=0).table_resources()]
+        assert "Multicast Tbl" not in names
+
+    def test_multicast_table_present_when_sized(self):
+        config = SwitchConfig(multicast_size=256)
+        table = next(
+            t for t in config.table_resources() if t.name == "Multicast Tbl"
+        )
+        assert table.size == 256
+
+    def test_gate_table_instances(self):
+        config = SwitchConfig(port_num=3)
+        gate = next(t for t in config.table_resources() if t.name == "Gate Tbl")
+        assert gate.instances == 6  # in + out per port
+
+    def test_report_rows_cover_all_resources(self):
+        report = ring_config().resource_report()
+        names = {row.resource for row in report.rows}
+        assert names == {
+            "Switch Tbl",
+            "Class. Tbl",
+            "Meter Tbl",
+            "Gate Tbl",
+            "CBS Tbl",
+            "Queues",
+            "Buffers",
+        }
+
+    def test_report_parameters_mirror_api_inputs(self):
+        report = bcm53154_config().resource_report()
+        assert report.row("Gate Tbl").parameters == (2, 8, 4)
+        assert report.row("Queues").parameters == (16, 8, 4)
+        assert report.row("Buffers").parameters == (128, 4)
+
+    def test_total_bram_kb_property(self):
+        assert ring_config().total_bram_kb == 2106
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        config = ring_config()
+        assert SwitchConfig.from_dict(config.to_dict()) == config
+
+    def test_roundtrip_json(self):
+        config = bcm53154_config()
+        assert SwitchConfig.from_json(config.to_json()) == config
+
+    def test_unknown_field_rejected(self):
+        data = ring_config().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            SwitchConfig.from_dict(data)
+
+    def test_custom_widths_survive(self):
+        config = SwitchConfig(widths=EntryWidths(class_tbl=140))
+        restored = SwitchConfig.from_dict(config.to_dict())
+        assert restored.widths.class_tbl == 140
+
+    def test_with_updates(self):
+        config = ring_config().with_updates(port_num=2)
+        assert config.port_num == 2
+        assert config.queue_depth == ring_config().queue_depth

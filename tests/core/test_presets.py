@@ -1,0 +1,93 @@
+"""The published parameter sets must reproduce the paper's numbers exactly."""
+
+import pytest
+
+from repro.core.presets import (
+    TOPOLOGY_PORTS,
+    bcm53154_config,
+    customized_config,
+    linear_config,
+    ring_config,
+    star_config,
+    table1_case1,
+    table1_case2,
+)
+
+
+class TestTable3:
+    """Paper Table III, all four columns."""
+
+    def test_commercial_total(self):
+        assert bcm53154_config().total_bram_kb == 10818
+
+    def test_commercial_rows(self):
+        report = bcm53154_config().resource_report()
+        assert report.row("Switch Tbl").kb == 1152
+        assert report.row("Class. Tbl").kb == 126
+        assert report.row("Meter Tbl").kb == 36
+        assert report.row("Gate Tbl").kb == 144
+        assert report.row("CBS Tbl").kb == 144
+        assert report.row("Queues").kb == 576
+        assert report.row("Buffers").kb == 8640
+
+    @pytest.mark.parametrize(
+        "factory,total,reduction",
+        [
+            (star_config, 5778, 0.4659),
+            (linear_config, 3942, 0.6356),
+            (ring_config, 2106, 0.8053),
+        ],
+    )
+    def test_customized_totals_and_reductions(self, factory, total, reduction):
+        base = bcm53154_config().resource_report()
+        report = factory().resource_report()
+        assert report.total_kb == total
+        assert report.reduction_vs(base) == pytest.approx(reduction, abs=5e-5)
+
+    def test_customized_shared_tables(self):
+        report = ring_config().resource_report()
+        assert report.row("Switch Tbl").kb == 72
+        assert report.row("Class. Tbl").kb == 126
+        assert report.row("Meter Tbl").kb == 72
+
+    def test_per_port_rows_scale_with_ports(self):
+        star = star_config().resource_report()
+        linear = linear_config().resource_report()
+        ring = ring_config().resource_report()
+        for row, per_port in [("Gate Tbl", 36), ("CBS Tbl", 36), ("Queues", 144)]:
+            assert star.row(row).kb == 3 * per_port
+            assert linear.row(row).kb == 2 * per_port
+            assert ring.row(row).kb == 1 * per_port
+
+    def test_topology_ports(self):
+        assert TOPOLOGY_PORTS == {"star": 3, "linear": 2, "ring": 1}
+
+
+class TestTable1:
+    """Paper Table I: the motivation's two queue/buffer cases."""
+
+    def _queue_buffer_kb(self, config):
+        return config.queue_resource().kb + config.buffer_resource().kb
+
+    def test_case1(self):
+        assert self._queue_buffer_kb(table1_case1()) == 2304
+
+    def test_case2(self):
+        assert self._queue_buffer_kb(table1_case2()) == 1764
+
+    def test_saving_is_540kb(self):
+        assert (
+            self._queue_buffer_kb(table1_case1())
+            - self._queue_buffer_kb(table1_case2())
+        ) == 540
+
+
+class TestCustomizedFactory:
+    def test_port_count_flows_through(self):
+        assert customized_config(2).port_num == 2
+
+    def test_flow_count_sizes_tables(self):
+        config = customized_config(1, flow_count=256)
+        assert config.unicast_size == 256
+        assert config.class_size == 256
+        assert config.meter_size == 256

@@ -1,0 +1,104 @@
+"""The five function templates and their coverage rules."""
+
+import pytest
+
+from repro.core.errors import SynthesisError
+from repro.core.presets import ring_config
+from repro.core.resources import Component
+from repro.core.templates import (
+    DEFAULT_TEMPLATES,
+    EgressSchedTemplate,
+    GateCtrlTemplate,
+    IngressFilterTemplate,
+    PacketSwitchTemplate,
+    TimeSyncTemplate,
+    check_complete,
+    default_template_set,
+)
+
+
+class TestTemplateSet:
+    def test_five_templates(self):
+        assert len(DEFAULT_TEMPLATES) == 5
+
+    def test_covers_every_component(self):
+        components = {t().component for t in DEFAULT_TEMPLATES}
+        assert components == set(Component)
+
+    def test_check_complete_accepts_default(self):
+        check_complete(default_template_set())
+
+    def test_check_complete_rejects_missing(self):
+        templates = [t for t in default_template_set()
+                     if t.component is not Component.GATE_CTRL]
+        with pytest.raises(SynthesisError, match="Gate Ctrl"):
+            check_complete(templates)
+
+    def test_check_complete_rejects_duplicates(self):
+        templates = default_template_set() + [GateCtrlTemplate()]
+        with pytest.raises(SynthesisError, match="both"):
+            check_complete(templates)
+
+
+class TestTemplateParameters:
+    def test_packet_switch(self):
+        params = PacketSwitchTemplate().parameters(ring_config())
+        assert params == {"unicast_size": 1024, "multicast_size": 0}
+
+    def test_ingress_filter(self):
+        params = IngressFilterTemplate().parameters(ring_config())
+        assert params == {"class_size": 1024, "meter_size": 1024}
+
+    def test_gate_ctrl(self):
+        params = GateCtrlTemplate().parameters(ring_config())
+        assert params["gate_size"] == 2
+        assert params["queue_depth"] == 12
+        assert params["buffer_num"] == 96
+
+    def test_egress_sched(self):
+        params = EgressSchedTemplate().parameters(ring_config())
+        assert params == {"cbs_map_size": 3, "cbs_size": 3, "port_num": 1}
+
+    def test_time_sync_has_no_resource_parameters(self):
+        assert TimeSyncTemplate().parameters(ring_config()) == {}
+
+    def test_api_call_attribution(self):
+        calls = set()
+        for template in default_template_set():
+            calls.update(template.api_calls)
+        assert calls == {
+            "set_switch_tbl",
+            "set_class_tbl",
+            "set_meter_tbl",
+            "set_gate_tbl",
+            "set_queues",
+            "set_buffers",
+            "set_cbs_tbl",
+        }
+
+
+class TestResourceSlices:
+    def test_slices_partition_tables(self):
+        config = ring_config()
+        sliced = []
+        for template in default_template_set():
+            sliced.extend(t.name for t in template.table_resources(config))
+        all_tables = [t.name for t in config.table_resources()]
+        assert sorted(sliced) == sorted(all_tables)
+
+    def test_time_sync_owns_no_tables(self):
+        assert TimeSyncTemplate().table_resources(ring_config()) == []
+
+    def test_gate_ctrl_owns_queue_and_buffer(self):
+        template = GateCtrlTemplate()
+        config = ring_config()
+        assert template.queue_resource(config).kb == 144
+        assert template.buffer_resource(config).kb == 1620
+
+    def test_submodules_match_paper_fig5(self):
+        names = {t.name: t.submodules for t in default_template_set()}
+        assert "parser" in names["Packet Switch"]
+        assert "classifier" in names["Ingress Filter"]
+        assert "gcl_update" in names["Gate Ctrl"]
+        assert "cbs" in names["Egress Sched"]
+        assert "clock_correction" in names["Time Sync"]

@@ -1,0 +1,39 @@
+"""Eq. (1) latency bounds."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.cqf.bounds import CqfBounds, cqf_bounds
+
+
+class TestBounds:
+    def test_paper_formula(self):
+        bounds = cqf_bounds(hops=4, slot_ns=65_000)
+        assert bounds.min_ns == 3 * 65_000
+        assert bounds.max_ns == 5 * 65_000
+        assert bounds.mean_ns == 4 * 65_000
+
+    def test_single_hop(self):
+        bounds = cqf_bounds(1, 65_000)
+        assert bounds.min_ns == 0
+        assert bounds.max_ns == 130_000
+
+    def test_contains(self):
+        bounds = cqf_bounds(2, 100)
+        assert bounds.contains(100)
+        assert bounds.contains(300)
+        assert not bounds.contains(99)
+        assert not bounds.contains(301)
+
+    def test_window_width_is_two_slots(self):
+        for hops in range(1, 6):
+            bounds = cqf_bounds(hops, 62_500)
+            assert bounds.max_ns - bounds.min_ns == 2 * 62_500
+
+    def test_invalid_hops(self):
+        with pytest.raises(SchedulingError):
+            cqf_bounds(0, 100)
+
+    def test_invalid_slot(self):
+        with pytest.raises(SchedulingError):
+            cqf_bounds(1, 0)

@@ -1,0 +1,116 @@
+"""802.1CB sequence recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.frer.elimination import FrerEliminator, SequenceRecovery
+from repro.switch.packet import EthernetFrame, make_mac
+
+
+def _frame(flow, seq):
+    return EthernetFrame(make_mac(1), make_mac(2), 1, 7, 64,
+                         flow_id=flow, seq=seq)
+
+
+class TestSequenceRecovery:
+    def test_accepts_first_and_increments(self):
+        recovery = SequenceRecovery()
+        assert recovery.accept(0)
+        assert recovery.accept(1)
+        assert recovery.accepted == 2
+
+    def test_duplicate_of_highest_discarded(self):
+        recovery = SequenceRecovery()
+        assert recovery.accept(5)
+        assert not recovery.accept(5)
+        assert recovery.discarded == 1
+
+    def test_late_replica_within_window_discarded_once(self):
+        recovery = SequenceRecovery()
+        for seq in (0, 1, 2, 3):
+            recovery.accept(seq)
+        assert not recovery.accept(1)   # replica of an accepted frame
+        assert recovery.discarded == 1
+
+    def test_gap_then_late_original_accepted(self):
+        recovery = SequenceRecovery()
+        recovery.accept(0)
+        recovery.accept(2)          # 1 lost on the fast path
+        assert recovery.accept(1)   # slow-path copy of 1: genuinely new
+        assert not recovery.accept(1)
+
+    def test_out_of_window_is_rogue(self):
+        recovery = SequenceRecovery(history_length=4)
+        recovery.accept(100)
+        assert not recovery.accept(10)
+        assert recovery.rogue == 1
+
+    def test_big_jump_clears_history(self):
+        recovery = SequenceRecovery(history_length=8)
+        recovery.accept(0)
+        recovery.accept(1000)
+        assert recovery.accept(999)   # within new window, never seen
+        assert not recovery.accept(1000)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            SequenceRecovery(history_length=0)
+        with pytest.raises(ConfigurationError):
+            SequenceRecovery().accept(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=100))
+    def test_each_sequence_number_accepted_at_most_once(self, seqs):
+        """With an ample window, acceptance is exactly first-occurrence."""
+        recovery = SequenceRecovery(history_length=64)
+        seen = set()
+        for seq in seqs:
+            accepted = recovery.accept(seq)
+            if seq in seen:
+                assert not accepted
+            if accepted:
+                assert seq not in seen
+                seen.add(seq)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=80))
+    def test_counters_partition_offers(self, seqs):
+        recovery = SequenceRecovery()
+        for seq in seqs:
+            recovery.accept(seq)
+        assert (recovery.accepted + recovery.discarded + recovery.rogue
+                == len(seqs))
+
+
+class TestFrerEliminator:
+    def test_per_flow_contexts(self):
+        delivered = []
+        eliminator = FrerEliminator(delivered.append)
+        eliminator(_frame(1, 0))
+        eliminator(_frame(2, 0))   # same seq, different flow: both pass
+        eliminator(_frame(1, 0))   # duplicate
+        assert [f.flow_id for f in delivered] == [1, 2]
+        assert eliminator.duplicates_eliminated == 1
+
+    def test_interleaved_replicas(self):
+        delivered = []
+        eliminator = FrerEliminator(delivered.append)
+        for seq in range(5):
+            eliminator(_frame(7, seq))       # path A
+            eliminator(_frame(7, seq))       # path B replica
+        assert [f.seq for f in delivered] == list(range(5))
+        assert eliminator.duplicates_eliminated == 5
+
+    def test_context_lookup(self):
+        eliminator = FrerEliminator(lambda f: None)
+        eliminator(_frame(3, 0))
+        assert eliminator.context(3).accepted == 1
+        with pytest.raises(KeyError):
+            eliminator.context(99)
+
+    def test_rogue_accounting(self):
+        eliminator = FrerEliminator(lambda f: None, history_length=2)
+        eliminator(_frame(1, 100))
+        eliminator(_frame(1, 1))
+        assert eliminator.rogue_frames == 1

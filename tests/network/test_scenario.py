@@ -1,0 +1,125 @@
+"""Declarative scenario specifications."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network.scenario import ScenarioSpec
+
+
+def _spec_dict(**overrides):
+    data = {
+        "name": "unit",
+        "topology": {"kind": "ring", "switch_count": 2,
+                     "talkers": ["talker0"], "listener": "listener"},
+        "flows": {"ts_count": 8, "rc_mbps": 10, "be_mbps": 10},
+        "config": "derive",
+        "slot_us": 62.5,
+        "duration_ms": 15,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParsing:
+    def test_from_dict_roundtrip(self):
+        spec = ScenarioSpec.from_dict(_spec_dict())
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored.name == "unit"
+        assert restored.slot_us == 62.5
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(_spec_dict()))
+        spec = ScenarioSpec.from_file(path)
+        assert spec.topology["kind"] == "ring"
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            ScenarioSpec.from_dict({"name": "x"})
+
+    def test_extras_forwarded(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(clock_drift_ppm=20, enable_gptp=True)
+        )
+        assert spec.extras == {"clock_drift_ppm": 20, "enable_gptp": True}
+
+
+class TestBuilding:
+    def test_unknown_topology_kind(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(topology={"kind": "mesh"})
+        )
+        with pytest.raises(ConfigurationError, match="topology kind"):
+            spec.build_topology()
+
+    def test_unknown_flow_parameter(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(flows={"ts_count": 4, "bogus": 1})
+        )
+        with pytest.raises(ConfigurationError, match="bogus"):
+            spec.build_flows()
+
+    def test_derived_config(self):
+        spec = ScenarioSpec.from_dict(_spec_dict())
+        topology = spec.build_topology()
+        flows = spec.build_flows()
+        config = spec.build_config(topology, flows)
+        assert config.port_num == 1
+        assert config.unicast_size == len(flows)
+
+    def test_explicit_config(self):
+        explicit = {
+            "port_num": 1, "unicast_size": 64, "multicast_size": 0,
+            "class_size": 64, "meter_size": 64, "gate_size": 2,
+            "queue_num": 8, "cbs_map_size": 3, "cbs_size": 3,
+            "queue_depth": 8, "buffer_num": 64,
+        }
+        spec = ScenarioSpec.from_dict(_spec_dict(config=explicit))
+        config = spec.build_config(spec.build_topology(), spec.build_flows())
+        assert config.unicast_size == 64
+
+    def test_invalid_config_value(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(config=42))
+        with pytest.raises(ConfigurationError):
+            spec.build_config(spec.build_topology(), spec.build_flows())
+
+
+class TestRunning:
+    def test_run_end_to_end(self):
+        result = ScenarioSpec.from_dict(_spec_dict()).run()
+        assert result.ts_loss == 0.0
+        assert result.analyzer.received() > 0
+
+    def test_extras_reach_testbed(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(trunk_error_rate=0.2))
+        result = spec.run()
+        assert result.ts_loss > 0.0
+
+
+class TestFrerScenario:
+    def test_dual_path_frer_via_scenario_file(self):
+        """FRER is reachable purely declaratively (topology kind +
+        frer_ts extra)."""
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "frer",
+                "topology": {"kind": "dual_path", "chain_len": 3,
+                             "talkers": ["talker0"],
+                             "listener": "listener"},
+                "flows": {"ts_count": 8},
+                "config": "derive",
+                "slot_us": 62.5,
+                "duration_ms": 15,
+                "frer_ts": True,
+            }
+        )
+        testbed = spec.build_testbed()
+        result = testbed.run(duration_ns=spec.duration_ns)
+        assert result.ts_loss == 0.0
+        eliminated = sum(
+            e.duplicates_eliminated
+            for e in testbed.frer_eliminators.values()
+        )
+        assert eliminated > 0

@@ -1,0 +1,135 @@
+"""Topology builders and path resolution."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.network.topology import (
+    HostAttachment,
+    HostUplink,
+    TopologySpec,
+    TrunkLink,
+    linear_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestRing:
+    def test_default_shape(self):
+        topo = ring_topology()
+        assert len(topo.switches) == 6
+        assert topo.max_enabled_ports == 1
+        assert topo.hops("talker0", "listener") == 6
+
+    def test_hop_count_tracks_switch_count(self):
+        for k in (1, 2, 3, 4):
+            topo = ring_topology(switch_count=k, talkers=["t"])
+            assert topo.hops("t", "listener") == k
+
+    def test_every_switch_port_consumed(self):
+        topo = ring_topology(switch_count=3, talkers=["t"])
+        wired = {(t.src, t.src_port) for t in topo.trunks}
+        wired |= {(a.switch, a.port) for a in topo.attachments}
+        assert wired == {("sw0", 0), ("sw1", 0), ("sw2", 0)}
+
+
+class TestLinear:
+    def test_default_shape(self):
+        topo = linear_topology()
+        assert topo.max_enabled_ports == 2
+        assert topo.hops("talker0", "listener") == 6
+
+    def test_bidirectional_trunks(self):
+        topo = linear_topology(switch_count=3, talkers=["t"])
+        directed = {(t.src, t.dst) for t in topo.trunks}
+        assert ("sw0", "sw1") in directed and ("sw1", "sw0") in directed
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            linear_topology(switch_count=1)
+
+
+class TestStar:
+    def test_default_shape(self):
+        topo = star_topology()
+        assert topo.switch_ports["core"] == 3
+        assert topo.switch_ports["leaf0"] == 1
+        # talker leaf -> core -> listener leaf
+        assert topo.hops("talker0", "listener") == 3
+
+    def test_talkers_avoid_listener_leaf(self):
+        topo = star_topology()
+        listener_leaf = topo.attachments[0].switch
+        assert all(u.dst != listener_leaf for u in topo.uplinks)
+
+
+class TestValidation:
+    def test_unknown_switch_in_trunk(self):
+        spec = TopologySpec(
+            "bad", {"sw0": 1}, trunks=[TrunkLink("sw0", 0, "ghost")]
+        )
+        with pytest.raises(TopologyError):
+            spec.validate()
+
+    def test_port_out_of_range(self):
+        spec = TopologySpec(
+            "bad", {"sw0": 1, "sw1": 1}, trunks=[TrunkLink("sw0", 5, "sw1")]
+        )
+        with pytest.raises(TopologyError):
+            spec.validate()
+
+    def test_double_wired_port(self):
+        spec = TopologySpec(
+            "bad",
+            {"sw0": 1, "sw1": 1, "sw2": 1},
+            trunks=[TrunkLink("sw0", 0, "sw1"), TrunkLink("sw0", 0, "sw2")],
+        )
+        with pytest.raises(TopologyError, match="wired to both"):
+            spec.validate()
+
+    def test_attachment_conflicts_with_trunk(self):
+        spec = TopologySpec(
+            "bad",
+            {"sw0": 1, "sw1": 1},
+            trunks=[TrunkLink("sw0", 0, "sw1")],
+            attachments=[HostAttachment("sw0", 0, "listener")],
+        )
+        with pytest.raises(TopologyError, match="wired to both"):
+            spec.validate()
+
+    def test_uplink_to_unknown_switch(self):
+        spec = TopologySpec(
+            "bad", {"sw0": 1}, uplinks=[HostUplink("t", "ghost")]
+        )
+        with pytest.raises(TopologyError):
+            spec.validate()
+
+
+class TestPaths:
+    def test_switch_path_includes_endpoints(self):
+        topo = ring_topology(switch_count=4, talkers=["t"])
+        assert topo.switch_path("t", "listener") == ["sw0", "sw1", "sw2", "sw3"]
+
+    def test_egress_ports_on_path(self):
+        topo = ring_topology(switch_count=3, talkers=["t"])
+        path = topo.switch_path("t", "listener")
+        assert topo.egress_ports_on_path(path) == [("sw0", 0), ("sw1", 0)]
+
+    def test_no_path_raises(self):
+        spec = TopologySpec(
+            "split",
+            {"sw0": 1, "sw1": 1},
+            uplinks=[HostUplink("t", "sw0")],
+            attachments=[HostAttachment("sw1", 0, "l")],
+        )
+        spec.validate()
+        with pytest.raises(TopologyError, match="no trunk path"):
+            spec.switch_path("t", "l")
+
+    def test_unknown_host(self):
+        with pytest.raises(TopologyError):
+            ring_topology().host_switch("nobody")
+
+    def test_hosts_listing(self):
+        topo = ring_topology(talkers=["a", "b"])
+        assert set(topo.hosts) == {"a", "b", "listener"}

@@ -1,0 +1,112 @@
+"""CSR map generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SwitchConfig
+from repro.core.errors import ConfigurationError
+from repro.core.presets import bcm53154_config, ring_config
+from repro.rtl.csr import (
+    CsrMap,
+    CsrWindow,
+    build_csr_map,
+    emit_c_header,
+    emit_markdown,
+)
+
+
+class TestBuild:
+    def test_windows_for_every_customized_table(self):
+        csr = build_csr_map(ring_config())
+        names = {w.name for w in csr.windows}
+        assert {"id", "control", "status", "unicast_tbl", "class_tbl",
+                "meter_tbl"} <= names
+        assert "p0_in_gate_tbl" in names and "p0_cbs_tbl" in names
+        assert "multicast_tbl" not in names  # size 0 in the preset
+
+    def test_per_port_replication(self):
+        csr = build_csr_map(bcm53154_config())  # 4 ports
+        gate_windows = [w for w in csr.windows if "out_gate" in w.name]
+        assert len(gate_windows) == 4
+        assert {w.per_port_instance for w in gate_windows} == {0, 1, 2, 3}
+
+    def test_entries_match_config(self):
+        config = ring_config()
+        csr = build_csr_map(config)
+        assert csr.window("unicast_tbl").entries == config.unicast_size
+        assert csr.window("p0_in_gate_tbl").entries == config.gate_size
+        assert csr.window("class_tbl").entry_width_bits == 117
+
+    def test_multiword_entries_widen_window(self):
+        csr = build_csr_map(ring_config())
+        unicast = csr.window("unicast_tbl")
+        # 72b entries need 3 words each: 1024 entries -> >= 12 KiB window
+        assert unicast.size_bytes >= 1024 * 3 * 4
+
+    def test_no_overlaps_and_alignment(self):
+        for config in (ring_config(), bcm53154_config()):
+            csr = build_csr_map(config)
+            csr.validate()  # raises on overlap/misalignment
+            for window in csr.windows:
+                assert window.offset % window.size_bytes == 0  # natural
+
+    def test_multicast_window_when_sized(self):
+        config = ring_config().with_updates(multicast_size=64)
+        assert build_csr_map(config).window("multicast_tbl").entries == 64
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ports=st.integers(min_value=1, max_value=8),
+        unicast=st.integers(min_value=1, max_value=4096),
+        gate=st.integers(min_value=1, max_value=512),
+    )
+    def test_arbitrary_configs_valid(self, ports, unicast, gate):
+        config = SwitchConfig(
+            name="hyp", port_num=ports, unicast_size=unicast, gate_size=gate
+        )
+        csr = build_csr_map(config)
+        csr.validate()
+        assert csr.size_bytes > 0
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        csr = CsrMap("bad", [
+            CsrWindow("a", 0, 64, 1, 32, ""),
+            CsrWindow("b", 32, 64, 1, 32, ""),
+        ])
+        with pytest.raises(ConfigurationError, match="overlap"):
+            csr.validate()
+
+    def test_misalignment_detected(self):
+        csr = CsrMap("bad", [CsrWindow("a", 2, 64, 1, 32, "")])
+        with pytest.raises(ConfigurationError, match="aligned"):
+            csr.validate()
+
+    def test_window_lookup(self):
+        csr = build_csr_map(ring_config())
+        with pytest.raises(KeyError):
+            csr.window("ghost")
+
+
+class TestEmission:
+    def test_c_header_macros(self):
+        csr = build_csr_map(ring_config())
+        header = emit_c_header(csr)
+        assert "#ifndef TSN_CSR_H" in header
+        assert "TSN_CSR_UNICAST_TBL_OFFSET" in header
+        assert "TSN_CSR_P0_OUT_GATE_TBL_ENTRIES 2u" in header
+        assert header.count("#define") >= 3 * len(csr.windows)
+
+    def test_markdown_rows(self):
+        csr = build_csr_map(ring_config())
+        text = emit_markdown(csr)
+        assert "| `unicast_tbl` |" in text
+        assert text.count("| `") == len(csr.windows)
+
+    def test_customization_changes_only_numbers(self):
+        small = emit_c_header(build_csr_map(ring_config()))
+        big = emit_c_header(build_csr_map(bcm53154_config()))
+        assert small != big
+        assert "TSN_CSR_P3_CBS_TBL_OFFSET" in big  # 4th port exists
+        assert "TSN_CSR_P3_CBS_TBL_OFFSET" not in small

@@ -1,0 +1,128 @@
+"""Generated Verilog bundle sanity."""
+
+import json
+import re
+
+import pytest
+
+from repro.core.builder import TSNBuilder
+from repro.core.presets import bcm53154_config, ring_config
+from repro.rtl import modules
+from repro.rtl.emit import FILE_ORDER, emit_switch
+
+
+def _model(config=None):
+    builder = TSNBuilder(platform="rtl")
+    builder.customize(config or ring_config())
+    return builder.synthesize()
+
+
+class TestEmission:
+    def test_all_files_written(self, tmp_path):
+        files = emit_switch(_model(), tmp_path)
+        names = {f.name for f in files}
+        expected = {name for name, _ in FILE_ORDER}
+        assert expected <= names
+        assert "filelist.f" in names and "manifest.json" in names
+
+    def test_filelist_covers_sources(self, tmp_path):
+        emit_switch(_model(), tmp_path)
+        listed = (tmp_path / "filelist.f").read_text().split()
+        assert "tsn_switch_top.v" in listed
+        assert all(name.endswith(".v") for name in listed)
+
+    def test_manifest_predicts_bram(self, tmp_path):
+        emit_switch(_model(), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["predicted_bram_kb"] == 2106
+        assert manifest["config"]["queue_depth"] == 12
+
+    def test_reemission_with_new_parameters_changes_only_numbers(self, tmp_path):
+        emit_switch(_model(ring_config()), tmp_path / "a")
+        emit_switch(_model(bcm53154_config()), tmp_path / "b")
+        a = (tmp_path / "a" / "gate_ctrl.v").read_text()
+        b = (tmp_path / "b" / "gate_ctrl.v").read_text()
+        # fixed logic identical once parameter values are normalized away
+        def strip_numbers(text):
+            return re.sub(r"\b\d+\b", "N",
+                          re.sub(r"configuration '.*'", "", text))
+        assert strip_numbers(a) == strip_numbers(b)
+        assert a != b
+
+
+class TestVerilogShape:
+    @pytest.mark.parametrize(
+        "generator,module_name",
+        [
+            (modules.packet_switch_v, "packet_switch"),
+            (modules.ingress_filter_v, "ingress_filter"),
+            (modules.gate_ctrl_v, "gate_ctrl"),
+            (modules.egress_sched_v, "egress_sched"),
+            (modules.time_sync_v, "time_sync"),
+            (modules.top_v, "tsn_switch_top"),
+        ],
+    )
+    def test_module_blocks_balanced(self, generator, module_name):
+        text = generator(ring_config())
+        assert f"module {module_name}" in text
+        # "endmodule" contains "module"; each module needs both tokens once
+        # per instantiation of the declaring file.
+        assert text.count("endmodule") >= 1
+        declared = len(re.findall(r"^module\s", text, flags=re.MULTILINE))
+        assert declared == text.count("endmodule")
+
+    def test_no_unexpanded_format_braces(self):
+        for name, generator in FILE_ORDER:
+            text = generator(ring_config())
+            # Verilog replication braces like {8{1'b1}} are fine; python
+            # format leftovers like {config.queue_num} are not.
+            assert "{config." not in text, name
+            assert "{self." not in text, name
+
+    def test_parameters_reflect_config(self):
+        text = modules.gate_ctrl_v(ring_config())
+        assert "parameter QUEUE_DEPTH = 12" in text
+        assert "parameter GATE_SIZE   = 2" in text
+
+    def test_params_header_macros(self):
+        text = modules.params_header(bcm53154_config())
+        assert "`define TSN_UNICAST_SIZE    16384" in text
+        assert "`define TSN_BUFFER_NUM      128" in text
+        # 11 resource parameters + 6 entry widths + the include guard
+        assert text.count("`define TSN_") == 18
+
+    def test_top_instantiates_per_port(self):
+        text = modules.top_v(bcm53154_config())  # 4 ports
+        assert text.count("gate_ctrl u_gate_ctrl_p") == 4
+        assert text.count("egress_sched u_egress_sched_p") == 4
+        assert "u_time_sync" in text and "u_packet_switch" in text
+
+
+class TestConfigConsistency:
+    """Generated RTL parameters must track arbitrary valid configs."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        port_num=st.integers(min_value=1, max_value=8),
+        unicast=st.integers(min_value=1, max_value=4096),
+        depth=st.integers(min_value=1, max_value=64),
+        gate=st.integers(min_value=1, max_value=256),
+    )
+    def test_parameters_track_config(self, port_num, unicast, depth, gate):
+        from repro.core.config import SwitchConfig
+
+        config = SwitchConfig(
+            name="hyp", port_num=port_num, unicast_size=unicast,
+            gate_size=gate, queue_depth=depth,
+            buffer_num=max(96, depth),
+        )
+        header = modules.params_header(config)
+        assert f"`define TSN_PORT_NUM        {port_num}" in header
+        assert f"`define TSN_UNICAST_SIZE    {unicast}" in header
+        top = modules.top_v(config)
+        assert top.count("gate_ctrl u_gate_ctrl_p") == port_num
+        gc = modules.gate_ctrl_v(config)
+        assert f"parameter QUEUE_DEPTH = {depth}" in gc
+        assert f"parameter GATE_SIZE   = {gate}" in gc

@@ -1,0 +1,146 @@
+"""Structural RTL lint."""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import TSNBuilder
+from repro.core.config import SwitchConfig
+from repro.core.errors import SynthesisError
+from repro.core.presets import bcm53154_config, linear_config, ring_config
+from repro.rtl.lint import lint_bundle, lint_text, parse_modules
+
+
+def _emit(tmp_path, config):
+    builder = TSNBuilder(platform="rtl")
+    builder.customize(config)
+    return builder.synthesize().emit_verilog(tmp_path)
+
+
+class TestLintText:
+    def test_clean_module(self):
+        text = "module m (input wire a);\nassign b = a;\nendmodule\n"
+        assert lint_text("m.v", text) == []
+
+    def test_missing_endmodule(self):
+        assert any(
+            "endmodule" in v
+            for v in lint_text("m.v", "module m (input wire a);\n")
+        )
+
+    def test_unbalanced_begin_end(self):
+        text = ("module m (input wire c);\nalways @(posedge c) begin\n"
+                "endmodule\n")
+        assert any("begin" in v for v in lint_text("m.v", text))
+
+    def test_unbalanced_parens(self):
+        text = "module m (input wire a;\nendmodule\n"
+        assert any("parentheses" in v for v in lint_text("m.v", text))
+
+    def test_comments_ignored(self):
+        text = ("module m (input wire a);\n"
+                "// begin begin begin (((\n"
+                "/* module nothing ) */\n"
+                "endmodule\n")
+        assert lint_text("m.v", text) == []
+
+
+class TestParseModules:
+    def test_ports_with_clog2_ranges(self):
+        text = """
+module m #(
+    parameter N = 8
+) (
+    input  wire                   clk,
+    input  wire [$clog2(N)-1:0]   sel,
+    output reg  [N-1:0]           out
+);
+endmodule
+"""
+        info = parse_modules(text)[0]
+        assert info.ports == {"clk", "sel", "out"}
+        assert "N" in info.parameters
+
+    def test_instances_and_connections(self):
+        text = """
+module child (input wire a, output wire b);
+endmodule
+module top (input wire x);
+    wire y;
+    child u_child (.a(x), .b(y));
+endmodule
+"""
+        modules = {m.name: m for m in parse_modules(text)}
+        assert modules["top"].instances == {"child": {"a", "b"}}
+
+
+class TestLintBundle:
+    @pytest.mark.parametrize(
+        "config_factory", [ring_config, linear_config, bcm53154_config]
+    )
+    def test_generated_bundles_are_clean(self, tmp_path, config_factory):
+        files = _emit(tmp_path, config_factory())
+        assert lint_bundle([Path(f) for f in files]) == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        port_num=st.integers(min_value=1, max_value=6),
+        depth=st.integers(min_value=1, max_value=32),
+    )
+    def test_arbitrary_configs_lint_clean(self, port_num, depth):
+        import tempfile
+
+        config = SwitchConfig(
+            name="hyp", port_num=port_num, queue_depth=depth,
+            buffer_num=max(96, depth),
+        )
+        with tempfile.TemporaryDirectory() as out:
+            files = _emit(Path(out), config)
+            assert lint_bundle([Path(f) for f in files]) == []
+
+    def test_bad_port_connection_detected(self, tmp_path):
+        (tmp_path / "a.v").write_text(
+            "module child (input wire a);\nendmodule\n"
+        )
+        (tmp_path / "b.v").write_text(
+            "module top (input wire x);\n"
+            "child u_child (.a(x), .ghost(x));\nendmodule\n"
+        )
+        violations = lint_bundle([tmp_path / "a.v", tmp_path / "b.v"])
+        assert any("ghost" in v for v in violations)
+
+    def test_unknown_module_detected(self, tmp_path):
+        (tmp_path / "t.v").write_text(
+            "module top (input wire x);\nmystery u_m (.p(x));\nendmodule\n"
+        )
+        violations = lint_bundle([tmp_path / "t.v"])
+        assert any("unknown module" in v for v in violations)
+
+    def test_missing_include_detected(self, tmp_path):
+        (tmp_path / "t.v").write_text(
+            '`include "nope.vh"\nmodule t (input wire x);\nendmodule\n'
+        )
+        violations = lint_bundle([tmp_path / "t.v"])
+        assert any("nope.vh" in v for v in violations)
+
+    def test_emit_raises_on_violation(self, tmp_path, monkeypatch):
+        """If a template generator regresses, emission must fail loudly."""
+        from repro.rtl import emit, modules
+
+        monkeypatch.setattr(
+            modules,
+            "time_sync_v",
+            lambda config: "module time_sync (input wire clk;\n",  # broken
+        )
+        monkeypatch.setattr(
+            emit, "FILE_ORDER",
+            tuple(
+                (name, modules.time_sync_v if name == "time_sync.v" else gen)
+                for name, gen in emit.FILE_ORDER
+            ),
+        )
+        builder = TSNBuilder(platform="rtl")
+        builder.customize(ring_config())
+        with pytest.raises(SynthesisError, match="lint"):
+            builder.synthesize().emit_verilog(tmp_path)

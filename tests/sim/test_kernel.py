@@ -1,0 +1,159 @@
+"""Event kernel ordering, cancellation, and error behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(5, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append("late"), priority=0)
+        sim.schedule(5, lambda: order.append("early"), priority=-10)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42] and sim.now == 42
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        def outer():
+            sim.schedule(5, lambda: seen.append(sim.now))
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [15]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+
+class TestRun:
+    def test_until_stops_and_pins_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until=50)
+        assert fired == [10] and sim.now == 50
+        sim.run()
+        assert fired == [10, 100]
+
+    def test_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, lambda: fired.append(50))
+        sim.run(until=50)
+        assert fired == [50]
+
+    def test_until_in_past_rejected(self):
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        def evil():
+            sim.run()
+        sim.schedule(1, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == [] and not handle.active
+
+    def test_double_cancel_safe(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_skips_cancelled(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None).cancel()
+        assert sim.pending == 1
+
+
+class TestStepPeek:
+    def test_step_executes_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(2, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_empty_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None).cancel()
+        sim.schedule(9, lambda: None)
+        assert sim.peek() == 9
+
+    def test_peek_empty(self):
+        assert Simulator().peek() is None
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    def test_trace_is_sorted_and_stable(self, delays):
+        sim = Simulator()
+        trace = []
+        for i, delay in enumerate(delays):
+            sim.schedule(delay, lambda d=delay, i=i: trace.append((d, i)))
+        sim.run()
+        # time-sorted, and insertion order preserved within equal times
+        assert trace == sorted(trace, key=lambda pair: (pair[0], pair[1]))

@@ -1,0 +1,45 @@
+"""Seeded RNG substreams."""
+
+from repro.sim.rng import RngFactory
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).stream("x")
+        b = RngFactory(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        factory = RngFactory(7)
+        xs = [factory.stream("x").random() for _ in range(3)]
+        ys = [factory.stream("y").random() for _ in range(3)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random()
+        b = RngFactory(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        factory = RngFactory(0)
+        assert factory.stream("x") is factory.stream("x")
+
+    def test_new_stream_does_not_perturb_existing(self):
+        f1 = RngFactory(3)
+        s = f1.stream("a")
+        first = s.random()
+        f2 = RngFactory(3)
+        f2.stream("zzz")  # extra consumer created first
+        assert f2.stream("a").random() == first
+
+
+class TestFork:
+    def test_fork_deterministic(self):
+        a = RngFactory(5).fork("child").stream("x").random()
+        b = RngFactory(5).fork("child").stream("x").random()
+        assert a == b
+
+    def test_fork_independent_of_parent(self):
+        parent = RngFactory(5)
+        child = parent.fork("child")
+        assert child.stream("x").random() != parent.stream("x").random()

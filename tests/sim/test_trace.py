@@ -1,0 +1,57 @@
+"""Tracer category filtering and formatting."""
+
+from repro.sim.trace import NULL_TRACER, Tracer, TraceRecord
+
+
+class TestTracer:
+    def test_default_records_everything(self):
+        tracer = Tracer()
+        tracer.emit(5, "gate", "open", queue=3)
+        tracer.emit(6, "queue", "enqueue")
+        assert len(tracer.records) == 2
+
+    def test_category_filter(self):
+        tracer = Tracer(enabled={"gate"})
+        tracer.emit(1, "gate", "open")
+        tracer.emit(2, "queue", "enqueue")
+        assert [r.category for r in tracer.records] == ["gate"]
+
+    def test_enable_adds_category(self):
+        tracer = Tracer(enabled=set())
+        tracer.emit(1, "tx", "start")
+        tracer.enable("tx")
+        tracer.emit(2, "tx", "start")
+        assert len(tracer.records) == 1
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "x")
+        tracer.emit(2, "b", "y")
+        tracer.emit(3, "a", "z")
+        assert [r.time for r in tracer.by_category("a")] == [1, 3]
+
+    def test_sink_called(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        tracer.emit(1, "a", "x")
+        assert len(seen) == 1 and isinstance(seen[0], TraceRecord)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1, "a", "x")
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_record_str(self):
+        record = TraceRecord(65_000, "gate", "open", (("queue", 7),))
+        text = str(record)
+        assert "65us" in text and "gate: open" in text and "queue=7" in text
+
+
+class TestNullTracer:
+    def test_drops_everything(self):
+        NULL_TRACER.emit(1, "anything", "x")
+        assert NULL_TRACER.records == []
+
+    def test_enabled_for_nothing(self):
+        assert not NULL_TRACER.enabled_for("gate")

@@ -1,0 +1,34 @@
+"""Switch counters."""
+
+from repro.switch.counters import SwitchCounters
+
+
+class TestSwitchCounters:
+    def test_dropped_total_sums_all_drop_kinds(self):
+        counters = SwitchCounters(
+            dropped_unknown_dst=1,
+            dropped_policer=2,
+            dropped_gate=3,
+            dropped_tail=4,
+            dropped_no_buffer=5,
+        )
+        assert counters.dropped_total == 15
+
+    def test_note_enqueue_accumulates_per_queue(self):
+        counters = SwitchCounters()
+        counters.note_enqueue(7)
+        counters.note_enqueue(7)
+        counters.note_enqueue(0)
+        assert counters.per_queue_enqueued == {7: 2, 0: 1}
+
+    def test_as_dict_round_numbers(self):
+        counters = SwitchCounters(received=10, forwarded=9, transmitted=8,
+                                  dropped_tail=1)
+        data = counters.as_dict()
+        assert data["received"] == 10
+        assert data["dropped_total"] == 1
+        assert set(data) == {
+            "received", "forwarded", "transmitted", "dropped_unknown_dst",
+            "dropped_policer", "dropped_gate", "dropped_tail",
+            "dropped_no_buffer", "dropped_total",
+        }

@@ -1,0 +1,145 @@
+"""Gate engine: GCL walking, CQF queue selection, guard-band queries."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.clock import LocalClock
+from repro.sim.kernel import Simulator
+from repro.switch.gates import CqfPair, GateEngine
+from repro.switch.tables import GateControlList, GateEntry
+
+
+def _engine(sim, in_entries, out_entries, pairs=(), clock=None):
+    in_gcl = GateControlList(max(1, len(in_entries)))
+    out_gcl = GateControlList(max(1, len(out_entries)))
+    in_gcl.program(list(in_entries))
+    out_gcl.program(list(out_entries))
+    return GateEngine(sim, in_gcl, out_gcl, clock=clock, cqf_pairs=list(pairs))
+
+
+def _cqf_engine(sim, slot=100):
+    # queues 6/7 alternate; all others always open
+    base = 0b0011_1111
+    in_entries = [GateEntry(base | 0x40, slot), GateEntry(base | 0x80, slot)]
+    out_entries = [GateEntry(base | 0x80, slot), GateEntry(base | 0x40, slot)]
+    return _engine(sim, in_entries, out_entries, pairs=[CqfPair(6, 7)])
+
+
+class TestCqfPair:
+    def test_membership(self):
+        pair = CqfPair(6, 7)
+        assert 6 in pair and 7 in pair and 5 not in pair
+
+    def test_distinct_queues_required(self):
+        with pytest.raises(ConfigurationError):
+            CqfPair(3, 3)
+
+
+class TestLifecycle:
+    def test_start_applies_first_entry(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        assert engine.in_open(6) and not engine.in_open(7)
+        assert engine.out_open(7) and not engine.out_open(6)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        with pytest.raises(ConfigurationError):
+            engine.start()
+
+    def test_flips_at_entry_boundaries(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100)
+        engine.start()
+        sim.run(until=99)
+        assert engine.in_open(6)
+        sim.run(until=100)
+        assert engine.in_open(7) and not engine.in_open(6)
+        sim.run(until=200)
+        assert engine.in_open(6)
+
+    def test_on_change_notified(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=50)
+        kicks = []
+        engine.set_on_change(lambda: kicks.append(sim.now))
+        engine.start()
+        sim.run(until=120)
+        assert kicks[0] == 0            # at start
+        assert 50 in kicks and 100 in kicks
+
+    def test_program_after_start_rejected(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        with pytest.raises(ConfigurationError):
+            engine.program([GateEntry(0xFF, 10)], [GateEntry(0xFF, 10)])
+
+    def test_drifting_clock_skews_boundaries(self):
+        sim = Simulator()
+        fast = LocalClock(sim, drift_ppm=100_000)  # 10% fast, exaggerated
+        engine = _cqf_engine(sim, slot=1000)
+        engine2 = GateEngine(
+            sim,
+            engine.in_gcl,
+            engine.out_gcl,
+            clock=fast,
+        )
+        # A 1000ns local interval on a 10%-fast clock elapses in ~909 sim ns.
+        assert fast.sim_delay_for_local(1000) == 909
+
+
+class TestQueueSelection:
+    def test_cqf_redirect_to_open_member(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100)
+        engine.start()
+        assert engine.select_enqueue_queue(7) == 6  # slot 0 gathers on 6
+        sim.run(until=100)
+        assert engine.select_enqueue_queue(7) == 7
+
+    def test_non_cqf_queue_follows_own_gate(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        assert engine.select_enqueue_queue(0) == 0  # BE: always open
+
+    def test_closed_non_cqf_gate_drops(self):
+        sim = Simulator()
+        # queue 0 closed in every entry
+        engine = _engine(
+            sim, [GateEntry(0xFE, 100)], [GateEntry(0xFF, 100)]
+        )
+        engine.start()
+        assert engine.select_enqueue_queue(0) is None
+
+
+class TestGuardBandQuery:
+    def test_closed_gate_reports_zero(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        assert engine.time_until_out_close(6) == 0  # out-gate of 6 is closed
+
+    def test_open_gate_reports_remaining_window(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100)
+        engine.start()
+        assert engine.time_until_out_close(7) == 100
+        sim.run(until=30)
+        assert engine.time_until_out_close(7) == 70
+
+    def test_always_open_queue_reports_none(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim)
+        engine.start()
+        assert engine.time_until_out_close(0) is None  # open in both entries
+
+    def test_single_entry_gcl_reports_none(self):
+        sim = Simulator()
+        engine = _engine(sim, [GateEntry(0xFF, 50)], [GateEntry(0xFF, 50)])
+        engine.start()
+        assert engine.time_until_out_close(3) is None

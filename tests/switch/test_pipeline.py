@@ -1,0 +1,102 @@
+"""Ingress pipeline: classify, police, lookup."""
+
+from repro.core.config import SwitchConfig
+from repro.switch.counters import SwitchCounters
+from repro.switch.packet import EthernetFrame, make_mac
+from repro.switch.pipeline import SwitchPipeline
+from repro.switch.tables import ClassTarget
+from repro.switch.meter import TokenBucketMeter
+
+
+def _pipeline(**config_kwargs):
+    defaults = dict(unicast_size=16, class_size=16, meter_size=16)
+    defaults.update(config_kwargs)
+    config = SwitchConfig(**defaults)
+    return SwitchPipeline(config, SwitchCounters())
+
+
+def _frame(src=1, dst=2, vid=1, pcp=7, size=64):
+    return EthernetFrame(make_mac(src), make_mac(dst), vid, pcp, size)
+
+
+class TestClassify:
+    def test_hit_returns_programmed_target(self):
+        pipe = _pipeline()
+        target = ClassTarget(meter_id=3, queue_id=7)
+        pipe.classification.program(make_mac(1), make_mac(2), 1, 7, target)
+        assert pipe.classify(_frame()) == target
+
+    def test_miss_falls_back_to_pcp(self):
+        pipe = _pipeline()
+        target = pipe.classify(_frame(pcp=5))
+        assert target.queue_id == 5 and target.meter_id == -1
+
+
+class TestPolice:
+    def test_unmetered_passes(self):
+        pipe = _pipeline()
+        assert pipe.police(_frame(), ClassTarget(-1, 7), now_ns=0)
+
+    def test_unprogrammed_meter_passes(self):
+        pipe = _pipeline()
+        assert pipe.police(_frame(), ClassTarget(5, 7), now_ns=0)
+
+    def test_violating_flow_dropped_and_counted(self):
+        pipe = _pipeline()
+        pipe.meters.program(0, TokenBucketMeter(8_000, 64))  # tiny
+        target = ClassTarget(0, 7)
+        assert pipe.police(_frame(), target, 0)
+        assert not pipe.police(_frame(), target, 0)  # bucket empty
+
+
+class TestLookup:
+    def test_unicast_hit(self):
+        pipe = _pipeline()
+        pipe.unicast.program(make_mac(2), 1, outport=0)
+        assert pipe.lookup(_frame()) == (0,)
+
+    def test_unicast_miss_empty(self):
+        assert _pipeline().lookup(_frame()) == ()
+
+    def test_multicast_via_mc_table(self):
+        pipe = _pipeline(multicast_size=8, port_num=3)
+        mc_mac = (1 << 40) | 0x0005  # group bit + MC ID 5
+        pipe.multicast.program(5, (0, 2))
+        frame = EthernetFrame(make_mac(1), mc_mac, 1, 7, 64)
+        assert pipe.lookup(frame) == (0, 2)
+
+    def test_multicast_without_table_drops(self):
+        pipe = _pipeline(multicast_size=0)
+        mc_mac = (1 << 40) | 0x0005
+        frame = EthernetFrame(make_mac(1), mc_mac, 1, 7, 64)
+        assert pipe.lookup(frame) == ()
+
+
+class TestProcess:
+    def test_full_path(self):
+        pipe = _pipeline()
+        pipe.classification.program(
+            make_mac(1), make_mac(2), 1, 7, ClassTarget(-1, 6)
+        )
+        pipe.unicast.program(make_mac(2), 1, outport=0)
+        decision = pipe.process(_frame(), 0)
+        assert decision.targets == ((0, 6),)
+        assert not decision.dropped
+
+    def test_policer_drop_counted(self):
+        pipe = _pipeline()
+        pipe.classification.program(
+            make_mac(1), make_mac(2), 1, 7, ClassTarget(0, 6)
+        )
+        pipe.meters.program(0, TokenBucketMeter(8_000, 64))
+        pipe.unicast.program(make_mac(2), 1, outport=0)
+        pipe.process(_frame(), 0)
+        decision = pipe.process(_frame(), 0)
+        assert decision.drop_reason == "policer"
+        assert pipe.counters.dropped_policer == 1
+
+    def test_unknown_dst_counted(self):
+        pipe = _pipeline()
+        decision = pipe.process(_frame(), 0)
+        assert decision.drop_reason == "unknown_dst"
+        assert pipe.counters.dropped_unknown_dst == 1

@@ -1,0 +1,100 @@
+"""Credit-based shaper state machine."""
+
+import pytest
+
+from repro.switch.shaper import CreditBasedShaper, ShaperMode
+from repro.switch.tables import CbsParams
+
+GBPS = 10**9
+PARAMS = CbsParams.for_reservation(100_000_000, GBPS)  # 100 Mbps of 1 Gbps
+
+
+def _shaper():
+    return CreditBasedShaper(PARAMS)
+
+
+class TestCreditEvolution:
+    def test_starts_eligible(self):
+        assert _shaper().eligible(0)
+
+    def test_waiting_gains_idle_slope(self):
+        shaper = _shaper()
+        shaper.set_backlog(0, True)
+        # 100 Mbps for 1 us -> 100 bits
+        assert shaper.credit_bits(1000) == pytest.approx(100.0)
+
+    def test_sending_loses_send_slope(self):
+        shaper = _shaper()
+        shaper.set_backlog(0, True)
+        shaper.begin_transmission(0)
+        # -900 Mbps for 1 us -> -900 bits
+        assert shaper.credit_bits(1000) == pytest.approx(-900.0)
+        assert not shaper.eligible(1000)
+
+    def test_idle_snaps_positive_credit_to_zero(self):
+        shaper = _shaper()
+        shaper.set_backlog(0, True)
+        assert shaper.credit_bits(10_000) > 0
+        shaper.set_backlog(10_000, False)
+        assert shaper.credit_bits(10_000) == 0.0
+
+    def test_idle_recovers_negative_credit_to_zero_only(self):
+        shaper = _shaper()
+        shaper.set_backlog(0, True)
+        shaper.begin_transmission(0)
+        shaper.end_transmission(10_000, has_backlog=False)  # deep negative
+        assert shaper.credit_bits(10_000) < 0
+        # long idle: recovers but never above zero
+        assert shaper.credit_bits(10_000_000_000) == 0.0
+
+    def test_full_frame_cycle_conserves(self):
+        # Transmit a 1500B frame (12 us at 1G): credit = -sendslope*12us...
+        shaper = _shaper()
+        shaper.set_backlog(0, True)
+        shaper.begin_transmission(0)
+        shaper.end_transmission(12_000, has_backlog=True)
+        assert shaper.credit_bits(12_000) == pytest.approx(-10_800.0)
+        # recovery at 100 Mbps: 10800 bits -> 108 us
+        assert shaper.ns_until_eligible(12_000) == 108_000
+        assert shaper.eligible(12_000 + 108_000)
+
+
+class TestModeTracking:
+    def test_modes(self):
+        shaper = _shaper()
+        assert shaper.mode is ShaperMode.IDLE
+        shaper.set_backlog(0, True)
+        assert shaper.mode is ShaperMode.WAITING
+        shaper.begin_transmission(0)
+        assert shaper.mode is ShaperMode.SENDING
+        shaper.end_transmission(1000, has_backlog=False)
+        assert shaper.mode is ShaperMode.IDLE
+
+    def test_set_backlog_ignored_while_sending(self):
+        shaper = _shaper()
+        shaper.begin_transmission(0)
+        shaper.set_backlog(100, True)
+        assert shaper.mode is ShaperMode.SENDING
+
+    def test_ns_until_eligible_none_when_ok(self):
+        assert _shaper().ns_until_eligible(0) is None
+
+
+class TestRateEnforcement:
+    def test_long_run_throughput_matches_idle_slope(self):
+        """Back-to-back 1500B frames gated by credit approach 100 Mbps."""
+        shaper = _shaper()
+        now = 0
+        sent_bits = 0
+        frame_ns = 12_000  # 1500 B at 1 Gbps
+        shaper.set_backlog(now, True)
+        for _ in range(200):
+            wait = shaper.ns_until_eligible(now)
+            if wait:
+                now += wait
+            shaper.begin_transmission(now)
+            now += frame_ns
+            shaper.end_transmission(now, has_backlog=True)
+            sent_bits += 1500 * 8
+        achieved = sent_bits * 1e9 / now
+        assert achieved == pytest.approx(100e6, rel=0.02)

@@ -1,0 +1,70 @@
+"""PI clock servo."""
+
+from repro.sim.clock import LocalClock
+from repro.sim.kernel import Simulator
+from repro.timesync.servo import PiServo
+
+
+def _advance(sim, delta):
+    sim.schedule(delta, lambda: None)
+    sim.run()
+
+
+class TestStepStage:
+    def test_first_sample_steps(self):
+        sim = Simulator()
+        clock = LocalClock(sim, offset_ns=500_000)
+        servo = PiServo(clock)
+        servo.observe(clock.offset_from_perfect())
+        assert clock.offset_from_perfect() == 0
+
+    def test_large_error_resteps(self):
+        sim = Simulator()
+        clock = LocalClock(sim)
+        servo = PiServo(clock, step_threshold_ns=10_000)
+        servo.observe(0)
+        clock.step(50_000)  # gross upset
+        servo.observe(clock.offset_from_perfect())
+        assert clock.offset_from_perfect() == 0
+
+
+class TestSlewStage:
+    def test_converges_on_constant_drift(self):
+        sim = Simulator()
+        clock = LocalClock(sim, drift_ppm=25, offset_ns=123_456)
+        servo = PiServo(clock)
+        interval = 31_250_000
+        for _ in range(60):
+            ratio_base = clock.rate
+            servo.observe(clock.offset_from_perfect(),
+                          rate_ratio=1.0 / float(ratio_base))
+            _advance(sim, interval)
+        assert abs(clock.offset_from_perfect()) < 100
+
+    def test_converges_without_rate_ratio(self):
+        sim = Simulator()
+        clock = LocalClock(sim, drift_ppm=5)
+        servo = PiServo(clock)
+        interval = 31_250_000
+        for _ in range(80):
+            servo.observe(clock.offset_from_perfect())
+            _advance(sim, interval)
+        # PI alone tolerates small drift
+        assert abs(clock.offset_from_perfect()) < 1_000
+
+    def test_locked_indicator(self):
+        sim = Simulator()
+        clock = LocalClock(sim)
+        servo = PiServo(clock)
+        assert not servo.locked
+        for _ in range(3):
+            servo.observe(0)
+        assert servo.locked
+
+    def test_lock_lost_on_gross_error(self):
+        sim = Simulator()
+        servo = PiServo(LocalClock(sim))
+        for _ in range(3):
+            servo.observe(0)
+        servo.observe(99_999)
+        assert not servo.locked
