@@ -16,8 +16,10 @@ The public API groups into four layers:
   :class:`Testbed` orchestrator (:mod:`repro.network`), traffic profiles
   (:mod:`repro.traffic`), and CQF scheduling/ITP (:mod:`repro.cqf`).
 
-* **Outputs** -- resource reports (:mod:`repro.analysis.report`) and the
-  Verilog generator backend (:mod:`repro.rtl`).
+* **Outputs** -- resource reports (:mod:`repro.analysis.report`), the
+  observability layer (:mod:`repro.obs`: :class:`MetricsRegistry`,
+  wall-clock profiling, Chrome-trace export), and the Verilog generator
+  backend (:mod:`repro.rtl`).
 
 Quickstart::
 
@@ -66,6 +68,9 @@ from .core.validation import check_deployment
 from .cqf.bounds import CqfBounds, cqf_bounds
 from .cqf.schedule import CqfSchedule
 from .network.scenario import ScenarioSpec
+from .obs.chrome_trace import write_chrome_trace
+from .obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .obs.profiler import WallClockProfiler
 from .network.testbed import ScenarioResult, Testbed
 from .network.topology import (
     TopologySpec,
@@ -115,5 +120,11 @@ __all__ = [
     "derive_config",
     "optimize",
     "check_deployment",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "WallClockProfiler",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -72,7 +72,12 @@ def latency_cdf(latencies: List[int], points: int = 100) -> List[Dict[str, float
 
 
 def result_summary(result) -> Dict:
-    """A JSON-compatible digest of one ScenarioResult."""
+    """A JSON-compatible digest of one ScenarioResult.
+
+    Runs executed with a :class:`~repro.obs.metrics.MetricsRegistry`
+    attached additionally embed the full registry snapshot under
+    ``"metrics"`` and the kernel's calendar accounting under ``"sim"``.
+    """
     summary: Dict = {
         "duration_ns": result.duration_ns,
         "slot_ns": result.slot_ns,
@@ -81,6 +86,12 @@ def result_summary(result) -> Dict:
         "max_queue_high_water": result.max_queue_high_water(),
         "max_buffer_high_water": result.max_buffer_high_water(),
     }
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None:
+        summary["metrics"] = metrics.snapshot()
+    sim_stats = getattr(result, "sim_stats", None)
+    if sim_stats:
+        summary["sim"] = dict(sim_stats)
     for traffic_class in TrafficClass:
         received = result.analyzer.received(traffic_class)
         entry: Dict = {"received": received,

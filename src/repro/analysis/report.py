@@ -10,7 +10,7 @@ panel.  Everything is plain monospace text so diffs against
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.resources import ResourceReport
 from .stats import SweepSeries
@@ -20,6 +20,7 @@ __all__ = [
     "render_table1",
     "render_table3",
     "render_series",
+    "render_metrics",
 ]
 
 
@@ -89,6 +90,88 @@ def render_table1(case1: ResourceReport, case2: ResourceReport) -> str:
             ]
         )
     return render_table(headers, rows, title="Configuration of queue and packet buffer")
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _snapshot_quantile(series: Dict[str, Any], q: float) -> Optional[float]:
+    """Bucketed quantile estimate from one histogram-series snapshot."""
+    count = series.get("count", 0)
+    if not count:
+        return None
+    rank = max(1, round(q * count))
+    seen = 0
+    for bucket in series.get("buckets", ()):
+        seen += bucket["count"]
+        if seen >= rank:
+            bound = bucket["le"]
+            if bound == "inf":
+                return series.get("max")
+            return bound
+    return series.get("max")
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """Pretty-print a :meth:`MetricsRegistry.snapshot` (``repro metrics``).
+
+    One table per instrument kind: counters (value), gauges
+    (value + high-water), histograms (count / mean / p50 / p99 / max, in
+    microseconds since every histogram in the catalogue is nanoseconds).
+    """
+    counter_rows: List[List[str]] = []
+    gauge_rows: List[List[str]] = []
+    histogram_rows: List[List[str]] = []
+    for name in sorted(snapshot):
+        instrument = snapshot[name]
+        for series in instrument.get("series", ()):
+            labels = _fmt_labels(series.get("labels", {}))
+            if instrument.get("kind") == "counter":
+                counter_rows.append([name, labels, str(series["value"])])
+            elif instrument.get("kind") == "gauge":
+                gauge_rows.append(
+                    [name, labels, f"{series['value']:g}",
+                     f"{series['high_water']:g}"]
+                )
+            elif instrument.get("kind") == "histogram":
+                p50 = _snapshot_quantile(series, 0.50)
+                p99 = _snapshot_quantile(series, 0.99)
+                histogram_rows.append(
+                    [
+                        name,
+                        labels,
+                        str(series["count"]),
+                        f"{series['mean'] / 1000:.2f}",
+                        "-" if p50 is None else f"{p50 / 1000:.2f}",
+                        "-" if p99 is None else f"{p99 / 1000:.2f}",
+                        ("-" if series["max"] is None
+                         else f"{series['max'] / 1000:.2f}"),
+                    ]
+                )
+    sections: List[str] = []
+    if counter_rows:
+        sections.append(
+            render_table(["counter", "labels", "value"], counter_rows,
+                         title="Counters")
+        )
+    if gauge_rows:
+        sections.append(
+            render_table(["gauge", "labels", "value", "high water"],
+                         gauge_rows, title="Gauges")
+        )
+    if histogram_rows:
+        sections.append(
+            render_table(
+                ["histogram", "labels", "count", "mean(us)", "p50(us)",
+                 "p99(us)", "max(us)"],
+                histogram_rows,
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
 
 
 def render_series(series: SweepSeries, unit: str = "us") -> str:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands wrap the library's main workflows:
+Five commands wrap the library's main workflows:
 
 ``report``
     Print the paper's Table III (and optionally Table I) from the published
@@ -14,7 +14,14 @@ Four commands wrap the library's main workflows:
 ``simulate``
     Run a declarative scenario file (see
     :class:`repro.network.scenario.ScenarioSpec`) and print/emit the
-    result summary.
+    result summary.  ``--metrics`` attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry` and writes its snapshot;
+    ``--chrome-trace`` records a trace and exports Chrome trace-event JSON
+    (open in Perfetto / ``chrome://tracing``); ``--profile`` prints a
+    wall-clock profile of simulation work.
+``metrics``
+    Pretty-print a metrics snapshot produced by ``simulate --metrics`` (or
+    a summary JSON embedding one).
 """
 
 from __future__ import annotations
@@ -125,6 +132,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--check", action="store_true",
                           help="pre-flight the configuration against the "
                                "scenario and stop (no simulation)")
+    simulate.add_argument("--metrics", type=Path, default=None,
+                          help="attach a metrics registry and write its "
+                               "snapshot JSON here")
+    simulate.add_argument("--chrome-trace", type=Path, default=None,
+                          help="record gate/queue/tx/drop traces and write "
+                               "Chrome trace-event JSON here (open in "
+                               "Perfetto or chrome://tracing)")
+    simulate.add_argument("--jsonl-trace", type=Path, default=None,
+                          help="also write the raw trace records as JSONL")
+    simulate.add_argument("--profile", action="store_true",
+                          help="profile wall-clock time per simulation "
+                               "component and print the table to stderr")
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="pretty-print a metrics snapshot (from simulate --metrics)",
+    )
+    metrics.add_argument("snapshot", type=Path,
+                         help="metrics snapshot JSON, or a summary JSON "
+                              "embedding one under 'metrics'")
+    metrics.add_argument("--json", action="store_true",
+                         help="re-emit the snapshot as JSON instead of "
+                              "tables (e.g. to extract the embedded "
+                              "snapshot from a summary)")
 
     return parser
 
@@ -242,16 +273,65 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{len(violations) - len(errors)} warning(s)",
               file=sys.stderr)
         return 1 if errors else 0
-    result = spec.run()
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiler import WallClockProfiler
+    from repro.sim.trace import Tracer
+
+    registry = MetricsRegistry() if args.metrics else None
+    tracer = (
+        Tracer(enabled={"gate", "queue", "tx", "drop"})
+        if args.chrome_trace or args.jsonl_trace
+        else None
+    )
+    profiler = WallClockProfiler() if args.profile else None
+    result = spec.run(metrics=registry, tracer=tracer, profiler=profiler)
     summary = result_summary(result)
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.summary_json:
         args.summary_json.write_text(
             json.dumps(summary, indent=2, sort_keys=True)
         )
+    if registry is not None:
+        args.metrics.write_text(registry.to_json())
+        print(f"# metrics snapshot: {args.metrics}", file=sys.stderr)
+    if args.chrome_trace:
+        from repro.obs.chrome_trace import write_chrome_trace
+
+        assert tracer is not None
+        write_chrome_trace(tracer.records, args.chrome_trace)
+        print(f"# chrome trace ({len(tracer.records)} records): "
+              f"{args.chrome_trace}", file=sys.stderr)
+    if args.jsonl_trace:
+        from repro.obs.chrome_trace import trace_to_jsonl
+
+        assert tracer is not None
+        trace_to_jsonl(tracer.records, args.jsonl_trace)
+        print(f"# jsonl trace: {args.jsonl_trace}", file=sys.stderr)
+    if profiler is not None:
+        print(profiler.render(), file=sys.stderr)
     ts = summary["classes"]["TS"]
     if ts.get("received") and ts["loss"] == 0.0:
         print("# TS: zero loss", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_metrics
+
+    data = json.loads(args.snapshot.read_text())
+    # Accept either a bare registry snapshot or a summary embedding one.
+    snapshot = data.get("metrics", data) if isinstance(data, dict) else data
+    if not isinstance(snapshot, dict) or not all(
+        isinstance(value, dict) and "kind" in value
+        for value in snapshot.values()
+    ):
+        print(f"error: {args.snapshot} does not contain a metrics snapshot",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_metrics(snapshot))
     return 0
 
 
@@ -260,6 +340,7 @@ _HANDLERS = {
     "size": _cmd_size,
     "emit-rtl": _cmd_emit_rtl,
     "simulate": _cmd_simulate,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -271,7 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except TsnBuilderError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -37,6 +37,9 @@ from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError
 from repro.core.sizing import derive_config
 from repro.core.units import mbps, us
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import WallClockProfiler
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.traffic.flows import FlowSet
 from repro.traffic.iec60802 import background_flows, production_cell_flows
 from .testbed import ScenarioResult, Testbed
@@ -179,7 +182,20 @@ class ScenarioSpec:
             f"config must be 'derive' or an object, got {self.config!r}"
         )
 
-    def build_testbed(self) -> Testbed:
+    def build_testbed(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[WallClockProfiler] = None,
+    ) -> Testbed:
+        """Instantiate the testbed, optionally with observability attached.
+
+        *metrics*, *tracer* and *profiler* thread a
+        :class:`~repro.obs.metrics.MetricsRegistry`, an enabled
+        :class:`~repro.sim.trace.Tracer` and a wall-clock profiler through
+        every device -- the hooks behind ``repro simulate --metrics`` /
+        ``--chrome-trace``.
+        """
         topology = self.build_topology()
         flows = self.build_flows()
         config = self.build_config(topology, flows)
@@ -192,8 +208,18 @@ class ScenarioSpec:
             gate_mechanism=self.gate_mechanism,
             use_itp=self.use_itp,
             injection_phase=self.injection_phase,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            metrics=metrics,
+            profiler=profiler,
             **self.extras,
         )
 
-    def run(self) -> ScenarioResult:
-        return self.build_testbed().run(duration_ns=self.duration_ns)
+    def run(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[WallClockProfiler] = None,
+    ) -> ScenarioResult:
+        return self.build_testbed(
+            metrics=metrics, tracer=tracer, profiler=profiler
+        ).run(duration_ns=self.duration_ns)

@@ -30,6 +30,8 @@ from repro.core.units import GIGABIT, ms, serialization_ns, wire_bytes
 from repro.cqf.gcl_gen import DEFAULT_TS_QUEUE_PAIR, cqf_port_program
 from repro.cqf.itp import ItpPlan, ItpPlanner, unplanned_plan
 from repro.cqf.schedule import CqfSchedule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import WallClockProfiler
 from repro.sim.clock import LocalClock
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngFactory
@@ -63,6 +65,9 @@ class ScenarioResult:
     flows: FlowSet
     switches: Dict[str, TsnSwitch]
     itp_plan: Optional[ItpPlan]
+    metrics: Optional[MetricsRegistry] = None
+    tracer: Tracer = NULL_TRACER
+    sim_stats: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------ shortcuts
 
@@ -173,6 +178,8 @@ class Testbed:
         gptp_config: Optional[GptpConfig] = None,
         gptp_warmup_ns: int = 2_000_000_000,
         tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[WallClockProfiler] = None,
     ) -> None:
         topology.validate()
         config.validate()
@@ -217,7 +224,9 @@ class Testbed:
         self.gptp_config = gptp_config or GptpConfig()
         self.gptp_warmup_ns = gptp_warmup_ns
         self.tracer = tracer
-        self.sim = Simulator()
+        self.metrics = metrics
+        self.profiler = profiler
+        self.sim = Simulator(profiler=profiler)
         self.rng = RngFactory(seed)
         self.sync_domain: Optional[SyncDomain] = None
 
@@ -340,6 +349,7 @@ class Testbed:
                 preemption_enabled=self.preemption_enabled,
                 express_queues=self.ts_queue_pair,
                 tracer=self.tracer,
+                metrics=self.metrics,
                 name=name,
             )
         if self.enable_gptp:
@@ -809,4 +819,7 @@ class Testbed:
             flows=self.flows,
             switches=self.switches,
             itp_plan=self.itp_plan,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            sim_stats=self.sim.stats.as_dict(),
         )

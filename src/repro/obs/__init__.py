@@ -1,0 +1,51 @@
+"""Unified observability layer: metrics, profiling, trace export.
+
+Everything the evaluation needs to *see inside* a run lives here:
+
+* :class:`MetricsRegistry` with labeled :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments (:mod:`repro.obs.metrics`);
+* the opt-in wall-clock :class:`WallClockProfiler` the kernel hooks
+  (:mod:`repro.obs.profiler`);
+* pre-bound dataplane instruments (:mod:`repro.obs.instruments`);
+* Chrome trace-event / JSONL exporters (:mod:`repro.obs.chrome_trace`).
+
+See ``docs/observability.md`` for the metric catalogue and exporter
+formats.
+"""
+
+from .chrome_trace import (
+    chrome_trace_events,
+    gate_span_events,
+    instant_events,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
+from .instruments import PortInstruments, SwitchInstruments
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from .profiler import NULL_PROFILER, NullProfiler, WallClockProfiler
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "SwitchInstruments",
+    "PortInstruments",
+    "WallClockProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "chrome_trace_events",
+    "gate_span_events",
+    "instant_events",
+    "write_chrome_trace",
+    "trace_to_jsonl",
+]

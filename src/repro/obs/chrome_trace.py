@@ -1,0 +1,227 @@
+"""Exporting trace records as Chrome trace-event JSON (and JSONL).
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+load the emitted file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` and every gate window becomes a colored span on its
+queue's track, with enqueue/tx/drop instants overlaid.  This turns the
+append-only :class:`~repro.sim.trace.Tracer` log into the paper's Fig. 5
+"gates breathing" picture, zoomable and searchable.
+
+Two shapes are produced:
+
+* **duration events** (``ph: "X"``) -- gate-open windows reconstructed from
+  ``gate`` records (one track per queue per direction, one process per
+  port engine);
+* **instant events** (``ph: "i"``) -- every other record, grouped into one
+  process per category with one thread per emitting component.
+
+All events carry the five keys the format requires (``name, ph, ts, pid,
+tid``); timestamps are microseconds as the format dictates (simulation
+nanoseconds / 1000).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.trace import TraceRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "gate_span_events",
+    "instant_events",
+    "write_chrome_trace",
+    "trace_to_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+#: Trace categories whose records describe gate state (handled as spans).
+GATE_CATEGORY = "gate"
+
+
+class _Tracks:
+    """Allocates stable pid/tid numbers plus their naming metadata."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self.metadata: List[Dict[str, Any]] = []
+
+    def pid(self, process: str) -> int:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+            self.metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        return pid
+
+    def tid(self, pid: int, thread: str) -> int:
+        tid = self._tids.get((pid, thread))
+        if tid is None:
+            tid = self._tids[(pid, thread)] = (
+                sum(1 for key in self._tids if key[0] == pid) + 1
+            )
+            self.metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        return tid
+
+
+def _us(time_ns: int) -> float:
+    return time_ns / 1000.0
+
+
+def gate_span_events(
+    records: Iterable[TraceRecord],
+    end_ns: Optional[int] = None,
+    tracks: Optional[_Tracks] = None,
+) -> List[Dict[str, Any]]:
+    """Gate-open windows as complete (``"X"``) events.
+
+    ``gate`` records carry the full 8-bit mask after each flip; this walks
+    the per-engine mask history and emits one span per contiguous open
+    window per queue.  Windows still open at *end_ns* (default: the last
+    record's timestamp) are closed there so the viewer shows them.
+    """
+    tracks = tracks or _Tracks()
+    # (engine, kind) -> previous mask; (engine, kind, queue) -> open-since ns
+    last_mask: Dict[Tuple[str, str], int] = {}
+    open_since: Dict[Tuple[str, str, int], int] = {}
+    events: List[Dict[str, Any]] = []
+    latest = 0
+
+    def close(engine: str, kind: str, queue: int, at_ns: int) -> None:
+        start = open_since.pop((engine, kind, queue))
+        pid = tracks.pid(engine)
+        events.append(
+            {
+                "name": f"q{queue} {kind}-gate open",
+                "ph": "X",
+                "ts": _us(start),
+                "dur": _us(max(0, at_ns - start)),
+                "pid": pid,
+                "tid": tracks.tid(pid, f"{kind}-gate q{queue}"),
+                "args": {"queue": queue, "direction": kind},
+            }
+        )
+
+    for record in records:
+        if record.category != GATE_CATEGORY:
+            continue
+        engine, _, kind_word = record.message.rpartition(" ")
+        if not engine or not kind_word.endswith("-gates"):
+            continue
+        kind = kind_word[: -len("-gates")]
+        fields = dict(record.fields)
+        if "mask" not in fields:
+            continue
+        mask = int(str(fields["mask"]), 2)
+        latest = max(latest, record.time)
+        previous = last_mask.get((engine, kind))
+        last_mask[(engine, kind)] = mask
+        changed = mask if previous is None else mask ^ previous
+        for queue in range(8):
+            if not changed >> queue & 1:
+                continue
+            if mask >> queue & 1:
+                open_since.setdefault((engine, kind, queue), record.time)
+            elif (engine, kind, queue) in open_since:
+                close(engine, kind, queue, record.time)
+    horizon = latest if end_ns is None else end_ns
+    for engine, kind, queue in sorted(open_since):
+        close(engine, kind, queue, max(horizon, open_since[(engine, kind, queue)]))
+    return events
+
+
+def instant_events(
+    records: Iterable[TraceRecord],
+    tracks: Optional[_Tracks] = None,
+) -> List[Dict[str, Any]]:
+    """Non-gate records as thread-scoped instant (``"i"``) events.
+
+    Each category becomes one process; the first token of the message (the
+    emitting component, e.g. ``sw0.p0``) becomes the thread.
+    """
+    tracks = tracks or _Tracks()
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        if record.category == GATE_CATEGORY:
+            continue
+        component, _, detail = record.message.partition(" ")
+        pid = tracks.pid(record.category)
+        events.append(
+            {
+                "name": detail or record.message,
+                "ph": "i",
+                "ts": _us(record.time),
+                "pid": pid,
+                "tid": tracks.tid(pid, component),
+                "s": "t",
+                "args": dict(record.fields),
+            }
+        )
+    return events
+
+
+def chrome_trace_events(
+    records: Sequence[TraceRecord],
+    end_ns: Optional[int] = None,
+    extra_events: Sequence[Dict[str, Any]] = (),
+) -> List[Dict[str, Any]]:
+    """The full event array: metadata, gate spans, instants, extras."""
+    tracks = _Tracks()
+    spans = gate_span_events(records, end_ns=end_ns, tracks=tracks)
+    instants = instant_events(records, tracks=tracks)
+    return tracks.metadata + spans + instants + list(extra_events)
+
+
+def write_chrome_trace(
+    records: Sequence[TraceRecord],
+    path: PathLike,
+    end_ns: Optional[int] = None,
+    extra_events: Sequence[Dict[str, Any]] = (),
+) -> Path:
+    """Write a Chrome trace-event JSON array; open it in Perfetto."""
+    path = Path(path)
+    events = chrome_trace_events(records, end_ns=end_ns,
+                                 extra_events=extra_events)
+    path.write_text(json.dumps(events, indent=1))
+    return path
+
+
+def trace_to_jsonl(records: Iterable[TraceRecord], path: PathLike) -> Path:
+    """One JSON object per record -- the grep/jq-friendly archival form."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "time_ns": record.time,
+                        "category": record.category,
+                        "message": record.message,
+                        **dict(record.fields),
+                    },
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+    return path

@@ -13,6 +13,13 @@ This style (callbacks, not coroutines) was chosen over a simpy-like process
 model because the switch dataplane is naturally event-shaped -- "frame fully
 received", "gate state flips", "serialization done" -- and the kernel stays
 trivially inspectable.
+
+Observability: every kernel counts scheduling activity in :class:`SimStats`
+(events scheduled/fired/cancelled and the calendar's high-water mark --
+plain integer bumps, always on).  Wall-clock attribution of event actions
+is opt-in: pass a :class:`repro.obs.profiler.WallClockProfiler` and each
+action's host-CPU time is recorded under its qualified name.  With the
+default ``profiler=None`` the run loop performs **no** clock reads at all.
 """
 
 from __future__ import annotations
@@ -20,13 +27,31 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 
-__all__ = ["Simulator", "EventHandle"]
+__all__ = ["Simulator", "EventHandle", "SimStats"]
 
 Action = Callable[[], Any]
+
+
+@dataclass
+class SimStats:
+    """Always-on calendar accounting of one kernel."""
+
+    scheduled: int = 0            # schedule()/schedule_at() calls
+    fired: int = 0                # actions actually executed
+    cancelled: int = 0            # handles cancelled before firing
+    calendar_high_water: int = 0  # max heap length (incl. cancelled entries)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "scheduled": self.scheduled,
+            "fired": self.fired,
+            "cancelled": self.cancelled,
+            "calendar_high_water": self.calendar_high_water,
+        }
 
 
 @dataclass(order=True)
@@ -44,10 +69,11 @@ class _Event:
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`; allows cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_stats")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, stats: Optional[SimStats] = None):
         self._event = event
+        self._stats = stats
 
     @property
     def time(self) -> int:
@@ -61,7 +87,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self._event.action = None
+        if self._event.action is not None:
+            self._event.action = None
+            if self._stats is not None:
+                self._stats.cancelled += 1
 
 
 class Simulator:
@@ -73,14 +102,20 @@ class Simulator:
     >>> sim.run()
     >>> (sim.now, fired)
     (100, [100])
+
+    *profiler* (optional) must offer ``clock() -> int`` and
+    ``record_action(action, elapsed_ns)`` -- see
+    :class:`repro.obs.profiler.WallClockProfiler`.  Left ``None``, the run
+    loop takes the unprofiled fast path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional[Any] = None) -> None:
         self._now = 0
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._running = False
-        self._events_executed = 0
+        self.stats = SimStats()
+        self.profiler = profiler
 
     # ------------------------------------------------------------ properties
 
@@ -92,7 +127,7 @@ class Simulator:
     @property
     def events_executed(self) -> int:
         """Count of events fired so far (for progress/benchmark reporting)."""
-        return self._events_executed
+        return self.stats.fired
 
     @property
     def pending(self) -> int:
@@ -120,9 +155,25 @@ class Simulator:
             )
         event = _Event(time, priority, next(self._seq), action)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        stats = self.stats
+        stats.scheduled += 1
+        if len(self._heap) > stats.calendar_high_water:
+            stats.calendar_high_water = len(self._heap)
+        return EventHandle(event, stats)
 
     # --------------------------------------------------------------- running
+
+    def _execute(self, action: Action) -> None:
+        profiler = self.profiler
+        if profiler is None:
+            action()
+            return
+        clock = profiler.clock
+        started = clock()
+        try:
+            action()
+        finally:
+            profiler.record_action(action, clock() - started)
 
     def run(self, until: Optional[int] = None) -> None:
         """Execute events in order until the calendar drains or *until* (ns).
@@ -147,10 +198,10 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
-                self._events_executed += 1
+                self.stats.fired += 1
                 action, event.action = event.action, None
                 assert action is not None
-                action()
+                self._execute(action)
         finally:
             self._running = False
         if until is not None:
@@ -163,10 +214,10 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
-            self._events_executed += 1
+            self.stats.fired += 1
             action, event.action = event.action, None
             assert action is not None
-            action()
+            self._execute(action)
             return True
         return False
 

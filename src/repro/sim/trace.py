@@ -50,16 +50,24 @@ class Tracer:
         sink: Optional[Callable[[TraceRecord], None]] = None,
     ) -> None:
         self._enabled = set(enabled) if enabled is not None else None
+        self._disabled: set = set()
         self._sink = sink
         self.records: List[TraceRecord] = []
 
     def enabled_for(self, category: str) -> bool:
+        if category in self._disabled:
+            return False
         return self._enabled is None or category in self._enabled
 
     def enable(self, category: str) -> None:
-        if self._enabled is None:
-            self._enabled = set()
-        self._enabled.add(category)
+        """Turn *category* on (undoes an earlier :meth:`disable`)."""
+        self._disabled.discard(category)
+        if self._enabled is not None:
+            self._enabled.add(category)
+
+    def disable(self, category: str) -> None:
+        """Turn *category* off; it stays off until :meth:`enable`."""
+        self._disabled.add(category)
 
     def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
         """Record one line if *category* is enabled."""
@@ -78,10 +86,22 @@ class Tracer:
 
 
 class _NullTracer(Tracer):
-    """A tracer that drops everything (the dataplane default)."""
+    """A tracer that drops everything (the dataplane default).
+
+    The shared :data:`NULL_TRACER` singleton must stay inert no matter who
+    holds a reference to it, so :meth:`enable` / :meth:`disable` are no-ops
+    here -- enabling a category on the singleton would silently turn on
+    record collection for *every* component built without a tracer.
+    """
 
     def __init__(self) -> None:
         super().__init__(enabled=())
+
+    def enable(self, category: str) -> None:
+        return
+
+    def disable(self, category: str) -> None:
+        return
 
     def emit(self, time: int, category: str, message: str, **fields: Any) -> None:
         return

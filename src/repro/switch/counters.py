@@ -46,8 +46,12 @@ class SwitchCounters:
         )
 
     def as_dict(self) -> Dict[str, int]:
-        """Flat counter dump (used by reports and failure diagnostics)."""
-        return {
+        """Flat counter dump (used by reports and failure diagnostics).
+
+        Per-queue enqueue counts flatten to ``enqueued_q<id>`` keys so the
+        result stays ``Dict[str, int]`` and diffs cleanly in JSON summaries.
+        """
+        flat = {
             "received": self.received,
             "forwarded": self.forwarded,
             "transmitted": self.transmitted,
@@ -58,3 +62,6 @@ class SwitchCounters:
             "dropped_no_buffer": self.dropped_no_buffer,
             "dropped_total": self.dropped_total,
         }
+        for queue_id in sorted(self.per_queue_enqueued):
+            flat[f"enqueued_q{queue_id}"] = self.per_queue_enqueued[queue_id]
+        return flat

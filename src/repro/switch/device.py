@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError, TopologyError
 from repro.core.units import GIGABIT
+from repro.obs.instruments import PortInstruments, SwitchInstruments
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import LocalClock
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -69,6 +71,7 @@ class TsnSwitch:
         preemption_enabled: bool = False,
         express_queues: Tuple[int, ...] = (6, 7),
         tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
         name: Optional[str] = None,
     ) -> None:
         config.validate()
@@ -98,8 +101,17 @@ class TsnSwitch:
             else None
         )
         self._tracer = tracer
+        # One SwitchInstruments per device binds this switch's label space
+        # in the (shared) registry; None keeps the uninstrumented fast path.
+        self.instruments: Optional[SwitchInstruments] = (
+            SwitchInstruments(metrics, self.name)
+            if metrics is not None
+            else None
+        )
         self.counters = SwitchCounters()
-        self.pipeline = SwitchPipeline(config, self.counters)
+        self.pipeline = SwitchPipeline(
+            config, self.counters, instruments=self.instruments
+        )
         self.ports: List[EgressPort] = []
         self._local_hosts: Dict[int, "DeliverFn"] = {}
         self._gate_engines: List[GateEngine] = []
@@ -124,12 +136,18 @@ class TsnSwitch:
         in_gcl.program(list(always_open))
         out_gcl.program(list(always_open))
         scheduler = self._scheduler_factory()
+        port_instruments: Optional[PortInstruments] = (
+            self.instruments.for_port(port_id, range(config.queue_num))
+            if self.instruments is not None
+            else None
+        )
         engine = GateEngine(
             self._sim,
             in_gcl,
             out_gcl,
             clock=self.clock,
             tracer=self._tracer,
+            instruments=port_instruments,
             name=f"{self.name}.p{port_id}",
         )
         port = EgressPort(
@@ -144,6 +162,7 @@ class TsnSwitch:
             preemption_enabled=self.preemption_enabled,
             express_queues=self.express_queues,
             tracer=self._tracer,
+            instruments=port_instruments,
             name=f"{self.name}.p{port_id}",
         )
         engine.set_on_change(port.kick)
@@ -268,6 +287,8 @@ class TsnSwitch:
     def receive(self, frame: EthernetFrame, inport: Optional[int] = None) -> None:
         """A frame arrived (fully, store-and-forward) from a link."""
         self.counters.received += 1
+        if self.instruments is not None:
+            self.instruments.on_received()
         self._sim.schedule(
             self.processing_delay_ns, lambda: self._process(frame)
         )
@@ -289,6 +310,10 @@ class TsnSwitch:
                 local(frame)
             elif self.ports[outport].enqueue(frame, queue_id):
                 self.counters.forwarded += 1
+            else:
+                continue
+            if self.instruments is not None:
+                self.instruments.on_forwarded()
 
     # --------------------------------------------------------------- helpers
 

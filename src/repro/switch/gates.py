@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.errors import ConfigurationError
+from repro.obs.instruments import PortInstruments
 from repro.sim.clock import LocalClock
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -94,6 +95,7 @@ class GateEngine:
         cqf_pairs: Sequence[CqfPair] = (),
         on_change: Optional[Callable[[], None]] = None,
         tracer: Tracer = NULL_TRACER,
+        instruments: Optional[PortInstruments] = None,
         name: str = "gate",
     ) -> None:
         self._sim = sim
@@ -103,6 +105,7 @@ class GateEngine:
         self._cqf_pairs = list(cqf_pairs)
         self._on_change = on_change
         self._tracer = tracer
+        self._obs = instruments
         self._name = name
         self._started = False
         # Sim-time when the currently active entry of each walker began.
@@ -179,6 +182,8 @@ class GateEngine:
             self._in_entry_start = self._sim.now
         else:
             self._out_entry_start = self._sim.now
+        if self._obs is not None:
+            self._obs.on_gate_flip("in" if is_in else "out")
         self._tracer.emit(
             self._sim.now,
             "gate",

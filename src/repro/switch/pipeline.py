@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.config import SwitchConfig
+from repro.obs.instruments import SwitchInstruments
 from .counters import SwitchCounters
 from .packet import EthernetFrame
 from .tables import (
@@ -54,9 +55,15 @@ class ForwardingDecision:
 class SwitchPipeline:
     """Shared-table stages of one switch."""
 
-    def __init__(self, config: SwitchConfig, counters: SwitchCounters):
+    def __init__(
+        self,
+        config: SwitchConfig,
+        counters: SwitchCounters,
+        instruments: Optional[SwitchInstruments] = None,
+    ):
         self.config = config
         self.counters = counters
+        self._obs = instruments
         self.unicast = UnicastTable(config.unicast_size)
         self.multicast: Optional[MulticastTable] = (
             MulticastTable(config.multicast_size)
@@ -84,7 +91,10 @@ class SwitchPipeline:
         meter = self.meters.meter(target.meter_id)
         if meter is None:
             return True  # classified to a meter that was never programmed
-        return meter.offer(now_ns, frame.size_bytes)
+        conformed = meter.offer(now_ns, frame.size_bytes)
+        if self._obs is not None:
+            self._obs.on_meter(conformed)
+        return conformed
 
     def lookup(self, frame: EthernetFrame) -> Tuple[int, ...]:
         """Packet Switch outport lookup; empty tuple on miss."""
@@ -101,10 +111,14 @@ class SwitchPipeline:
         target = self.classify(frame)
         if not self.police(frame, target, now_ns):
             self.counters.dropped_policer += 1
+            if self._obs is not None:
+                self._obs.on_drop("policer")
             return ForwardingDecision((), "policer")
         outports = self.lookup(frame)
         if not outports:
             self.counters.dropped_unknown_dst += 1
+            if self._obs is not None:
+                self._obs.on_drop("unknown_dst")
             return ForwardingDecision((), "unknown_dst")
         return ForwardingDecision(
             tuple((port, target.queue_id) for port in outports)

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.units import serialization_ns, wire_bytes
+from repro.obs.instruments import PortInstruments
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 from .counters import SwitchCounters
@@ -97,6 +98,7 @@ class EgressPort:
         preemption_enabled: bool = False,
         express_queues: Tuple[int, ...] = (6, 7),
         tracer: Tracer = NULL_TRACER,
+        instruments: Optional[PortInstruments] = None,
         name: str = "port",
     ) -> None:
         if rate_bps <= 0:
@@ -115,6 +117,7 @@ class EgressPort:
         self.express_queues: Set[int] = set(express_queues)
         self.preemptions = 0
         self._tracer = tracer
+        self._obs = instruments
         self.name = name
         self._deliver: Optional[DeliverFn] = None
         self._busy_until = 0
@@ -156,6 +159,8 @@ class EgressPort:
             queue = self._queue_by_id.get(queue_id)
             if queue is not None:
                 queue.stats.gate_drops += 1
+            if self._obs is not None:
+                self._obs.on_drop("gate")
             return False
         queue = self._queue_by_id.get(target_id)
         if queue is None:
@@ -165,6 +170,8 @@ class EgressPort:
         slot = self.pool.allocate(frame)
         if slot is None:
             self.counters.dropped_no_buffer += 1
+            if self._obs is not None:
+                self._obs.on_drop("no_buffer")
             return False
         descriptor = Descriptor(
             frame=frame,
@@ -175,8 +182,13 @@ class EgressPort:
         if not queue.enqueue(descriptor):
             self.pool.release(slot)
             self.counters.dropped_tail += 1
+            if self._obs is not None:
+                self._obs.on_drop("tail")
             return False
         self.counters.note_enqueue(target_id)
+        if self._obs is not None:
+            self._obs.on_enqueue(target_id, len(queue))
+            self._obs.on_buffer(self.pool.in_use)
         self._update_shaper_backlog(target_id)
         self._tracer.emit(
             self._sim.now,
@@ -287,6 +299,10 @@ class EgressPort:
     def _start_transmission(self, queue: MetadataQueue) -> None:
         descriptor = queue.dequeue()
         now = self._sim.now
+        if self._obs is not None:
+            self._obs.on_dequeue(
+                queue.queue_id, len(queue), now - descriptor.enqueued_ns
+            )
         shaper = self.scheduler.shapers.get(queue.queue_id)
         if shaper is not None:
             shaper.begin_transmission(now)
@@ -406,6 +422,9 @@ class EgressPort:
             )
         self.pool.release(tx.descriptor.buffer_slot)
         self.counters.transmitted += 1
+        if self._obs is not None:
+            self._obs.on_buffer(self.pool.in_use)
+            self._obs.on_transmitted()
         shaper = self.scheduler.shapers.get(tx.queue_id)
         if shaper is not None:
             shaper.end_transmission(

@@ -108,6 +108,83 @@ class TestSimulate:
         assert main(["simulate", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_metrics_flag_writes_snapshot(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "metrics.json"
+        assert main(["simulate", str(path), "--metrics", str(out)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["frames_total"]["kind"] == "counter"
+        assert any(
+            series["value"] > 0
+            for series in snapshot["frames_total"]["series"]
+        )
+        # The printed summary embeds the same snapshot and the sim stats.
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["metrics"]["queue_depth"]["kind"] == "gauge"
+        assert summary["sim"]["fired"] > 0
+
+    def test_chrome_trace_flag_writes_events(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["simulate", str(path), "--chrome-trace", str(out)]) == 0
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events
+        for event in events:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_jsonl_trace_flag(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "trace.jsonl"
+        assert main(["simulate", str(path), "--jsonl-trace", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines and all("time_ns" in json.loads(l) for l in lines)
+
+    def test_profile_flag_prints_table(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["simulate", str(path), "--profile"]) == 0
+        assert "Wall-clock profile" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def _snapshot(self, tmp_path, capsys):
+        scenario = TestSimulate()._scenario(tmp_path)
+        out = tmp_path / "metrics.json"
+        assert main(["simulate", str(scenario), "--metrics", str(out)]) == 0
+        capsys.readouterr()  # swallow the simulate summary
+        return out
+
+    def test_renders_tables(self, tmp_path, capsys):
+        out = self._snapshot(tmp_path, capsys)
+        assert main(["metrics", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Counters" in text
+        assert "frames_total" in text
+        assert "Histograms" in text
+
+    def test_accepts_embedded_summary(self, tmp_path, capsys):
+        scenario = TestSimulate()._scenario(tmp_path)
+        summary = tmp_path / "summary.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["simulate", str(scenario), "--metrics", str(metrics),
+                     "--summary-json", str(summary)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(summary)]) == 0
+        assert "frames_total" in capsys.readouterr().out
+
+    def test_json_flag_reemits_snapshot(self, tmp_path, capsys):
+        out = self._snapshot(tmp_path, capsys)
+        assert main(["metrics", str(out), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["frames_total"]["kind"] == "counter"
+
+    def test_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": "world"}))
+        assert main(["metrics", str(bogus)]) == 2
+        assert "does not contain" in capsys.readouterr().err
+
 
 class TestSizeOptimize:
     def test_optimize_flag(self, capsys):

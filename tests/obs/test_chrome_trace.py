@@ -1,0 +1,133 @@
+"""Chrome trace-event export: schema, gate spans, instants, JSONL."""
+
+import json
+
+from repro.obs.chrome_trace import (
+    chrome_trace_events,
+    gate_span_events,
+    instant_events,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
+from repro.sim.trace import TraceRecord
+
+
+def gate_record(time, engine, kind, mask):
+    return TraceRecord(
+        time, "gate", f"{engine} {kind}-gates", (("mask", mask),)
+    )
+
+
+class TestGateSpans:
+    def test_open_close_becomes_one_span(self):
+        records = [
+            gate_record(1000, "sw0.p0", "out", "00000001"),  # q0 opens
+            gate_record(3000, "sw0.p0", "out", "00000000"),  # q0 closes
+        ]
+        spans = gate_span_events(records)
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["ph"] == "X"
+        assert span["ts"] == 1.0     # us
+        assert span["dur"] == 2.0    # us
+        assert span["args"] == {"queue": 0, "direction": "out"}
+
+    def test_still_open_window_closed_at_horizon(self):
+        records = [gate_record(1000, "sw0.p0", "out", "00000010")]
+        spans = gate_span_events(records, end_ns=5000)
+        assert len(spans) == 1
+        assert spans[0]["ts"] == 1.0 and spans[0]["dur"] == 4.0
+        assert spans[0]["args"]["queue"] == 1
+
+    def test_mask_diffing_tracks_each_queue(self):
+        records = [
+            gate_record(0, "sw0.p0", "out", "00000011"),     # q0+q1 open
+            gate_record(1000, "sw0.p0", "out", "00000010"),  # q0 closes
+            gate_record(2000, "sw0.p0", "out", "00000000"),  # q1 closes
+        ]
+        spans = gate_span_events(records)
+        by_queue = {s["args"]["queue"]: s for s in spans}
+        assert by_queue[0]["dur"] == 1.0
+        assert by_queue[1]["dur"] == 2.0
+
+    def test_directions_and_engines_get_distinct_tracks(self):
+        records = [
+            gate_record(0, "sw0.p0", "in", "00000001"),
+            gate_record(0, "sw0.p1", "out", "00000001"),
+            gate_record(1000, "sw0.p0", "in", "00000000"),
+            gate_record(1000, "sw0.p1", "out", "00000000"),
+        ]
+        spans = gate_span_events(records)
+        assert len(spans) == 2
+        assert len({(s["pid"], s["tid"]) for s in spans}) == 2
+
+
+class TestInstants:
+    def test_non_gate_records_become_instants(self):
+        records = [
+            TraceRecord(5000, "queue", "sw0.p0 enqueue", (("queue", 7),)),
+            TraceRecord(6000, "drop", "sw1.p2 tail-drop"),
+        ]
+        instants = instant_events(records)
+        assert [e["ph"] for e in instants] == ["i", "i"]
+        assert instants[0]["name"] == "enqueue"
+        assert instants[0]["args"] == {"queue": 7}
+        assert instants[0]["ts"] == 5.0
+        # Different categories -> different processes.
+        assert instants[0]["pid"] != instants[1]["pid"]
+
+
+class TestFullExport:
+    def test_every_event_has_required_keys(self, tmp_path):
+        """Acceptance: array of objects with name/ph/ts/pid/tid."""
+        records = [
+            gate_record(0, "sw0.p0", "out", "00000001"),
+            gate_record(2000, "sw0.p0", "out", "00000000"),
+            TraceRecord(500, "queue", "sw0.p0 enqueue", (("queue", 0),)),
+            TraceRecord(1500, "tx", "sw0.p0 start", (("bytes", 64),)),
+        ]
+        path = write_chrome_trace(records, tmp_path / "trace.json")
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events
+        for event in events:
+            assert isinstance(event, dict)
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event, f"missing {key}: {event}"
+
+    def test_metadata_names_processes_and_threads(self):
+        records = [
+            gate_record(0, "sw0.p0", "out", "00000001"),
+            gate_record(1000, "sw0.p0", "out", "00000000"),
+        ]
+        events = chrome_trace_events(records)
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+        process = next(e for e in metadata if e["name"] == "process_name")
+        assert process["args"]["name"] == "sw0.p0"
+
+    def test_extra_events_are_appended(self):
+        extra = {"name": "marker", "ph": "i", "ts": 0, "pid": 99, "tid": 1,
+                 "s": "g"}
+        events = chrome_trace_events([], extra_events=[extra])
+        assert events[-1] == extra
+
+    def test_empty_records_still_valid_json_array(self, tmp_path):
+        path = write_chrome_trace([], tmp_path / "empty.json")
+        assert json.loads(path.read_text()) == []
+
+
+class TestJsonl:
+    def test_one_object_per_record(self, tmp_path):
+        records = [
+            TraceRecord(100, "queue", "sw0.p0 enqueue", (("queue", 3),)),
+            TraceRecord(200, "tx", "sw0.p0 start"),
+        ]
+        path = trace_to_jsonl(records, tmp_path / "trace.jsonl")
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines == [
+            {"time_ns": 100, "category": "queue",
+             "message": "sw0.p0 enqueue", "queue": 3},
+            {"time_ns": 200, "category": "tx", "message": "sw0.p0 start"},
+        ]

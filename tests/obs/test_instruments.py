@@ -1,0 +1,180 @@
+"""Dataplane instrumentation: bound series and end-to-end metric flow."""
+
+import json
+
+import pytest
+
+from repro.core.presets import customized_config
+from repro.core.units import ms
+from repro.network.testbed import Testbed
+from repro.network.topology import ring_topology
+from repro.obs.chrome_trace import chrome_trace_events
+from repro.obs.instruments import SwitchInstruments
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import WallClockProfiler
+from repro.sim.trace import Tracer
+
+SLOT = 62_500
+
+
+class TestSwitchInstruments:
+    def test_frame_lifecycle_counters(self):
+        registry = MetricsRegistry()
+        instruments = SwitchInstruments(registry, "sw0")
+        instruments.on_received()
+        instruments.on_received()
+        instruments.on_forwarded()
+        frames = registry.counter("frames_total")
+        assert frames.value(switch="sw0", event="received") == 2
+        assert frames.value(switch="sw0", event="forwarded") == 1
+
+    def test_meter_decisions(self):
+        registry = MetricsRegistry()
+        instruments = SwitchInstruments(registry, "sw0")
+        instruments.on_meter(True)
+        instruments.on_meter(False)
+        instruments.on_meter(False)
+        meter = registry.counter("meter_decisions_total")
+        assert meter.value(switch="sw0", decision="conform") == 1
+        assert meter.value(switch="sw0", decision="violate") == 2
+
+    def test_switches_share_metric_names_but_not_series(self):
+        registry = MetricsRegistry()
+        SwitchInstruments(registry, "sw0").on_received()
+        SwitchInstruments(registry, "sw1").on_received()
+        frames = registry.counter("frames_total")
+        assert frames.value(switch="sw0", event="received") == 1
+        assert frames.value(switch="sw1", event="received") == 1
+
+    def test_port_instruments_track_depth_and_residence(self):
+        registry = MetricsRegistry()
+        port = SwitchInstruments(registry, "sw0").for_port(0, range(8))
+        port.on_enqueue(7, occupancy=1)
+        port.on_enqueue(7, occupancy=2)
+        port.on_dequeue(7, occupancy=1, residence_ns=5_000)
+        depth = registry.gauge("queue_depth")
+        assert depth.value(switch="sw0", port=0, queue=7) == 1
+        assert depth.high_water(switch="sw0", port=0, queue=7) == 2
+        residence = registry.histogram("queue_residence_ns")
+        series = residence.labels(switch="sw0", port=0, queue=7)
+        assert series.count == 1 and series.sum == 5_000
+
+    def test_port_buffer_and_drops(self):
+        registry = MetricsRegistry()
+        port = SwitchInstruments(registry, "sw0").for_port(2, range(8))
+        port.on_buffer(40)
+        port.on_buffer(10)
+        port.on_drop("tail")
+        port.on_gate_flip("out")
+        assert registry.gauge("buffer_in_use").high_water(
+            switch="sw0", port=2) == 40
+        assert registry.counter("drops_total").value(
+            switch="sw0", reason="tail") == 1
+        assert registry.counter("gate_flips_total").value(
+            switch="sw0", port=2, direction="out") == 1
+
+    def test_for_port_accepts_generator(self):
+        registry = MetricsRegistry()
+        port = SwitchInstruments(registry, "sw0").for_port(
+            0, (q for q in range(8))
+        )
+        port.on_enqueue(7, occupancy=1)
+        port.on_dequeue(7, occupancy=0, residence_ns=100)
+        series = registry.histogram("queue_residence_ns").labels(
+            switch="sw0", port=0, queue=7
+        )
+        assert series.count == 1
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    """One instrumented ring scenario shared by the end-to-end assertions."""
+    from repro.traffic.iec60802 import production_cell_flows
+
+    topo = ring_topology(switch_count=3, talkers=["talker0"])
+    flows = production_cell_flows(["talker0"], "listener", flow_count=32)
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled={"gate", "queue", "tx", "drop"})
+    profiler = WallClockProfiler()
+    testbed = Testbed(
+        topo, customized_config(topo.max_enabled_ports), flows,
+        slot_ns=SLOT, tracer=tracer, metrics=registry, profiler=profiler,
+    )
+    result = testbed.run(duration_ns=ms(30))
+    return registry, tracer, profiler, result
+
+
+class TestEndToEnd:
+    def test_frames_flow_through_counters(self, observed_run):
+        registry, _, _, result = observed_run
+        frames = registry.counter("frames_total")
+        received = sum(
+            s.value for key, s in frames.series()
+            if ("event", "received") in key
+        )
+        transmitted = sum(
+            s.value for key, s in frames.series()
+            if ("event", "transmitted") in key
+        )
+        assert received > 0
+        assert transmitted > 0
+        # Metrics agree with the legacy per-switch counters.
+        assert received == sum(
+            c["received"] for c in result.counters().values()
+        )
+
+    def test_queue_depth_high_water_positive(self, observed_run):
+        registry, _, _, _ = observed_run
+        assert registry.gauge("queue_depth").max_high_water() > 0
+
+    def test_residence_histogram_collected(self, observed_run):
+        registry, _, _, _ = observed_run
+        residence = registry.histogram("queue_residence_ns")
+        total = sum(series.count for _, series in residence.series())
+        assert total > 0
+
+    def test_gate_flips_counted(self, observed_run):
+        registry, _, _, _ = observed_run
+        assert registry.counter("gate_flips_total").total() > 0
+
+    def test_nominal_run_has_no_drops(self, observed_run):
+        registry, _, _, _ = observed_run
+        assert registry.counter("drops_total").total() == 0
+
+    def test_sim_stats_populated(self, observed_run):
+        _, _, _, result = observed_run
+        stats = result.sim_stats
+        assert stats["fired"] > 0
+        assert stats["scheduled"] >= stats["fired"]
+        assert stats["calendar_high_water"] > 0
+
+    def test_profiler_saw_the_run(self, observed_run):
+        _, _, profiler, _ = observed_run
+        assert profiler.total_ns > 0
+        assert profiler.report()
+
+    def test_trace_exports_as_chrome_events(self, observed_run):
+        _, tracer, _, result = observed_run
+        events = chrome_trace_events(tracer.records,
+                                     end_ns=result.duration_ns)
+        assert any(e["ph"] == "X" for e in events)
+        for event in events:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event
+
+    def test_snapshot_is_json_serializable(self, observed_run):
+        registry, _, _, _ = observed_run
+        json.loads(registry.to_json())
+
+    def test_unobserved_run_records_nothing(self):
+        from repro.traffic.iec60802 import production_cell_flows
+
+        topo = ring_topology(switch_count=3, talkers=["talker0"])
+        flows = production_cell_flows(["talker0"], "listener", flow_count=8)
+        testbed = Testbed(
+            topo, customized_config(topo.max_enabled_ports), flows,
+            slot_ns=SLOT,
+        )
+        result = testbed.run(duration_ns=ms(10))
+        assert result.metrics is None
+        assert result.tracer.records == []

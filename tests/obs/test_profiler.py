@@ -1,0 +1,142 @@
+"""Wall-clock profiler, action categorization, zero-overhead default."""
+
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    WallClockProfiler,
+    categorize,
+)
+from repro.sim.kernel import Simulator
+
+
+def ticking_clock(step=100):
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestCategorize:
+    def test_nested_function_attributed_to_enclosing(self):
+        def helper():
+            pass
+
+        # helper's qualname contains ".<locals>."; attribution stops there.
+        assert categorize(helper) == (
+            "TestCategorize.test_nested_function_attributed_to_enclosing"
+        )
+
+    def test_bound_method(self):
+        sim = Simulator()
+        assert categorize(sim.step) == "Simulator.step"
+
+    def test_lambda_attributed_to_enclosing_function(self):
+        action = lambda: None  # noqa: E731
+        category = categorize(action)
+        assert "<lambda>" not in category
+        assert "<locals>" not in category
+
+    def test_callable_object_uses_type_name(self):
+        class Kick:
+            def __call__(self):
+                pass
+
+        # No __qualname__ on the instance itself -> __call__'s is used via
+        # the instance attribute lookup failing, falling back to type name
+        # or the call's qualname; either way it is stable and non-empty.
+        assert categorize(Kick()) != ""
+
+
+class TestWallClockProfiler:
+    def test_record_action_accumulates_by_category(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        sim = Simulator()
+        profiler.record_action(sim.step, 250)
+        profiler.record_action(sim.step, 750)
+        report = profiler.report()
+        assert report["Simulator.step"] == {
+            "total_ns": 1000, "calls": 2, "max_ns": 750, "mean_ns": 500,
+        }
+
+    def test_span_times_with_injected_clock(self):
+        profiler = WallClockProfiler(clock=ticking_clock(step=100))
+        with profiler.span("work"):
+            pass
+        entry = profiler.report()["work"]
+        assert entry["calls"] == 1
+        assert entry["total_ns"] == 100
+
+    def test_report_sorted_hottest_first(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        profiler.record("cold", 10)
+        profiler.record("hot", 1000)
+        assert list(profiler.report()) == ["hot", "cold"]
+
+    def test_total_ns(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        profiler.record("a", 40)
+        profiler.record("b", 60)
+        assert profiler.total_ns == 100
+
+    def test_render_mentions_categories(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        profiler.record("GateEngine._flip", 500)
+        text = profiler.render()
+        assert "Wall-clock profile" in text
+        assert "GateEngine._flip" in text
+
+
+class TestKernelIntegration:
+    def test_profiled_run_attributes_actions(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        sim = Simulator(profiler=profiler)
+        fired = []
+        sim.schedule(10, lambda: fired.append(sim.now))
+        sim.schedule(20, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10, 20]
+        assert sum(e["calls"] for e in profiler.report().values()) == 2
+
+    def test_default_path_makes_zero_clock_reads(self, monkeypatch):
+        """Acceptance: profiling off => no perf_counter calls at all."""
+        def poisoned(*args, **kwargs):
+            raise AssertionError("clock read on the unprofiled path")
+
+        monkeypatch.setattr(time, "perf_counter_ns", poisoned)
+        monkeypatch.setattr(time, "perf_counter", poisoned)
+        sim = Simulator()  # default: profiler=None
+        fired = []
+        for delay in (5, 10, 15):
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        handle = sim.schedule(20, lambda: fired.append(sim.now))
+        handle.cancel()
+        sim.run()
+        assert fired == [5, 10, 15]
+
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.span("anything"):
+            pass
+        NULL_PROFILER.record("x", 100)
+        NULL_PROFILER.record_action(lambda: None, 100)
+        assert NULL_PROFILER.report() == {}
+        assert isinstance(NULL_PROFILER, NullProfiler)
+
+    def test_profiler_survives_raising_action(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        sim = Simulator(profiler=profiler)
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        sim.schedule(1, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sum(e["calls"] for e in profiler.report().values()) == 1

@@ -157,3 +157,53 @@ class TestDeterminism:
         sim.run()
         # time-sorted, and insertion order preserved within equal times
         assert trace == sorted(trace, key=lambda pair: (pair[0], pair[1]))
+
+
+class TestSimStats:
+    def test_scheduled_and_fired(self):
+        sim = Simulator()
+        for delay in (1, 2, 3):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.stats.scheduled == 3
+        assert sim.stats.fired == 3
+        assert sim.stats.cancelled == 0
+
+    def test_cancelled_counted_once(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        handle.cancel()
+        handle.cancel()  # second cancel is a no-op
+        sim.schedule(6, lambda: None)
+        sim.run()
+        assert sim.stats.cancelled == 1
+        assert sim.stats.fired == 1
+
+    def test_calendar_high_water(self):
+        sim = Simulator()
+        for delay in (1, 2, 3, 4):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.stats.calendar_high_water == 4
+
+    def test_high_water_tracks_nested_scheduling(self):
+        sim = Simulator()
+
+        def fan_out():
+            for delay in (1, 2, 3):
+                sim.schedule(delay, lambda: None)
+
+        sim.schedule(1, fan_out)
+        sim.run()
+        # One drained before three were added: peak is 3, total 4 scheduled.
+        assert sim.stats.scheduled == 4
+        assert sim.stats.calendar_high_water == 3
+
+    def test_as_dict(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.stats.as_dict() == {
+            "scheduled": 1, "fired": 1, "cancelled": 0,
+            "calendar_high_water": 1,
+        }

@@ -47,6 +47,38 @@ class TestTracer:
         text = str(record)
         assert "65us" in text and "gate: open" in text and "queue=7" in text
 
+    def test_disable_suppresses_category(self):
+        tracer = Tracer()
+        tracer.emit(1, "gate", "open")
+        tracer.disable("gate")
+        tracer.emit(2, "gate", "open")
+        tracer.emit(3, "queue", "enqueue")
+        assert [r.category for r in tracer.records] == ["gate", "queue"]
+
+    def test_enable_undoes_disable(self):
+        tracer = Tracer()
+        tracer.disable("gate")
+        assert not tracer.enabled_for("gate")
+        tracer.enable("gate")
+        assert tracer.enabled_for("gate")
+        tracer.emit(1, "gate", "open")
+        assert len(tracer.records) == 1
+
+    def test_disable_wins_over_allowlist(self):
+        tracer = Tracer(enabled={"gate", "queue"})
+        tracer.disable("gate")
+        tracer.emit(1, "gate", "open")
+        tracer.emit(2, "queue", "enqueue")
+        assert [r.category for r in tracer.records] == ["queue"]
+
+    def test_sink_not_called_for_disabled_category(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        tracer.disable("gate")
+        tracer.emit(1, "gate", "open")
+        tracer.emit(2, "queue", "enqueue")
+        assert [r.category for r in seen] == ["queue"]
+
 
 class TestNullTracer:
     def test_drops_everything(self):
@@ -55,3 +87,19 @@ class TestNullTracer:
 
     def test_enabled_for_nothing(self):
         assert not NULL_TRACER.enabled_for("gate")
+
+    def test_enable_is_a_noop(self):
+        # The singleton is shared by every component built without a
+        # tracer; enabling a category on it must not start collection.
+        NULL_TRACER.enable("gate")
+        try:
+            assert not NULL_TRACER.enabled_for("gate")
+            NULL_TRACER.emit(1, "gate", "open")
+            assert NULL_TRACER.records == []
+        finally:
+            NULL_TRACER.disable("gate")
+
+    def test_disable_is_a_noop(self):
+        NULL_TRACER.disable("gate")
+        assert not NULL_TRACER.enabled_for("gate")
+        assert NULL_TRACER.records == []

@@ -32,3 +32,17 @@ class TestSwitchCounters:
             "dropped_policer", "dropped_gate", "dropped_tail",
             "dropped_no_buffer", "dropped_total",
         }
+
+    def test_as_dict_includes_per_queue_enqueued(self):
+        counters = SwitchCounters()
+        counters.note_enqueue(7)
+        counters.note_enqueue(7)
+        counters.note_enqueue(0)
+        data = counters.as_dict()
+        assert data["enqueued_q7"] == 2
+        assert data["enqueued_q0"] == 1
+        # Flat keys keep the dump Dict[str, int] for JSON summaries.
+        assert all(isinstance(v, int) for v in data.values())
+        # Queues appear in sorted order after the fixed counters.
+        queue_keys = [k for k in data if k.startswith("enqueued_q")]
+        assert queue_keys == ["enqueued_q0", "enqueued_q7"]
