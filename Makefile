@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples lint-rtl outputs clean
+.PHONY: install test bench bench-obs bench-full examples lint-rtl outputs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,11 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-bench:
+bench: bench-obs
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py --output BENCH_obs.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

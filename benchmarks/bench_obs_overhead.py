@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Observability overhead: the cost of watching the dataplane.
+
+Runs the same ring scenario in three instrumentation modes and reports
+wall-clock time per mode:
+
+* ``off``     -- no registry, no spans: the uninstrumented baseline.
+* ``metrics`` -- MetricsRegistry attached (PR 1's always-on production
+  posture).  The acceptance bar: within 5% of ``off``.
+* ``full``    -- registry + flow-span recording + a 1 ms time-series
+  sampler: everything on.  Expected to cost real time; the point of the
+  number is knowing *how much*.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py               # full measurement
+    python benchmarks/bench_obs_overhead.py --smoke       # CI: tiny + fast
+    python benchmarks/bench_obs_overhead.py --output BENCH_obs.json
+
+The JSON trajectory file records per-mode timings plus the metrics/full
+overhead ratios so successive runs are comparable.  Standalone by design
+(argparse + time.perf_counter, no pytest-benchmark) so CI can smoke it in
+seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.presets import customized_config          # noqa: E402
+from repro.core.units import mbps, ms, us                 # noqa: E402
+from repro.network.testbed import Testbed                 # noqa: E402
+from repro.network.topology import ring_topology          # noqa: E402
+from repro.obs.flowspans import FlowSpanRecorder          # noqa: E402
+from repro.obs.metrics import MetricsRegistry             # noqa: E402
+from repro.obs.timeseries import TimeSeriesSampler        # noqa: E402
+from repro.traffic.iec60802 import (                      # noqa: E402
+    background_flows,
+    production_cell_flows,
+)
+
+MODES = ("off", "metrics", "full")
+
+
+def _build_flows(ts_count: int):
+    flows = production_cell_flows(["talker0"], "listener",
+                                  flow_count=ts_count)
+    for flow in background_flows(["talker0"], "listener",
+                                 mbps(100), mbps(100)):
+        flows.add(flow)
+    return flows
+
+
+def _run_once(mode: str, ts_count: int, duration_ns: int) -> float:
+    topology = ring_topology(switch_count=3, talkers=["talker0"])
+    flows = _build_flows(ts_count)
+    config = customized_config(topology.max_enabled_ports)
+    registry = MetricsRegistry() if mode in ("metrics", "full") else None
+    spans = FlowSpanRecorder() if mode == "full" else None
+    testbed = Testbed(topology, config, flows, slot_ns=62_500,
+                      metrics=registry, spans=spans)
+    if mode == "full":
+        sampler = TimeSeriesSampler(registry, testbed.sim,
+                                    interval_ns=us(1000))
+        sampler.start()
+    testbed.build()  # outside the timer: measure the event loop, not setup
+    start = time.perf_counter()
+    testbed.run(duration_ns=duration_ns)
+    return time.perf_counter() - start
+
+
+def measure(ts_count: int, duration_ns: int, repeats: int) -> dict:
+    results = {}
+    for mode in MODES:
+        _run_once(mode, ts_count, duration_ns)  # warm-up (imports, caches)
+        times = [
+            _run_once(mode, ts_count, duration_ns) for _ in range(repeats)
+        ]
+        results[mode] = {
+            "best_s": min(times),
+            "mean_s": statistics.mean(times),
+            "runs": times,
+        }
+    baseline = results["off"]["best_s"]
+    for mode in MODES:
+        results[mode]["vs_off"] = results[mode]["best_s"] / baseline
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny parameters for CI (seconds, not minutes)")
+    parser.add_argument("--flows", type=int, default=None,
+                        help="TS flow count (default: 128, smoke: 8)")
+    parser.add_argument("--duration-ms", type=float, default=None,
+                        help="simulated window (default: 40, smoke: 5)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per mode (default: 3, smoke: 1)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON trajectory file here")
+    args = parser.parse_args(argv)
+
+    ts_count = args.flows if args.flows is not None else (
+        8 if args.smoke else 128
+    )
+    duration = ms(args.duration_ms) if args.duration_ms is not None else (
+        ms(5) if args.smoke else ms(40)
+    )
+    repeats = args.repeats if args.repeats is not None else (
+        1 if args.smoke else 3
+    )
+
+    print(f"# obs overhead: {ts_count} TS flows + background, "
+          f"{duration / 1e6:g} ms, {repeats} repeat(s) per mode",
+          file=sys.stderr)
+    results = measure(ts_count, duration, repeats)
+    for mode in MODES:
+        entry = results[mode]
+        print(f"{mode:>8}: best {entry['best_s'] * 1000:8.1f} ms  "
+              f"({(entry['vs_off'] - 1) * 100:+6.2f}% vs off)")
+
+    payload = {
+        "benchmark": "bench_obs_overhead",
+        "params": {
+            "ts_flows": ts_count,
+            "duration_ns": duration,
+            "repeats": repeats,
+            "smoke": args.smoke,
+        },
+        "modes": results,
+        "metrics_overhead": results["metrics"]["vs_off"] - 1.0,
+        "full_overhead": results["full"]["vs_off"] - 1.0,
+    }
+    if args.output:
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"# wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

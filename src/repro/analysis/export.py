@@ -92,6 +92,9 @@ def result_summary(result) -> Dict:
     sim_stats = getattr(result, "sim_stats", None)
     if sim_stats:
         summary["sim"] = dict(sim_stats)
+    slo = getattr(result, "slo", None)
+    if slo is not None:
+        summary["slo"] = slo.as_dict()
     for traffic_class in TrafficClass:
         received = result.analyzer.received(traffic_class)
         entry: Dict = {"received": received,

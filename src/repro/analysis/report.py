@@ -21,6 +21,7 @@ __all__ = [
     "render_table3",
     "render_series",
     "render_metrics",
+    "render_slo",
 ]
 
 
@@ -117,8 +118,8 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
     """Pretty-print a :meth:`MetricsRegistry.snapshot` (``repro metrics``).
 
     One table per instrument kind: counters (value), gauges
-    (value + high-water), histograms (count / mean / p50 / p99 / max, in
-    microseconds since every histogram in the catalogue is nanoseconds).
+    (value + high-water), histograms (count / mean / p50 / p95 / p99 / max,
+    in microseconds since every histogram in the catalogue is nanoseconds).
     """
     counter_rows: List[List[str]] = []
     gauge_rows: List[List[str]] = []
@@ -135,8 +136,12 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
                      f"{series['high_water']:g}"]
                 )
             elif instrument.get("kind") == "histogram":
-                p50 = _snapshot_quantile(series, 0.50)
-                p99 = _snapshot_quantile(series, 0.99)
+                # Prefer the snapshot's own estimates (present since the
+                # percentile fields landed); fall back to re-deriving from
+                # the buckets for older snapshot files on disk.
+                p50 = series.get("p50", _snapshot_quantile(series, 0.50))
+                p95 = series.get("p95", _snapshot_quantile(series, 0.95))
+                p99 = series.get("p99", _snapshot_quantile(series, 0.99))
                 histogram_rows.append(
                     [
                         name,
@@ -144,6 +149,7 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
                         str(series["count"]),
                         f"{series['mean'] / 1000:.2f}",
                         "-" if p50 is None else f"{p50 / 1000:.2f}",
+                        "-" if p95 is None else f"{p95 / 1000:.2f}",
                         "-" if p99 is None else f"{p99 / 1000:.2f}",
                         ("-" if series["max"] is None
                          else f"{series['max'] / 1000:.2f}"),
@@ -164,13 +170,88 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
         sections.append(
             render_table(
                 ["histogram", "labels", "count", "mean(us)", "p50(us)",
-                 "p99(us)", "max(us)"],
+                 "p95(us)", "p99(us)", "max(us)"],
                 histogram_rows,
                 title="Histograms",
             )
         )
     if not sections:
         return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def _fmt_us(value_ns: Optional[float]) -> str:
+    return "-" if value_ns is None else f"{value_ns / 1000:.2f}"
+
+
+def render_slo(report: "SloReport", max_violations: int = 20) -> str:
+    """Pretty-print an :class:`~repro.obs.slo.SloReport` (``repro slo``).
+
+    A verdict table (one row per flow: delivery accounting, worst-case
+    latency watermark, jitter, pass/fail with the breached bound kinds)
+    followed by the first *max_violations* individual violations.
+    """
+    verdict_rows: List[List[str]] = []
+    for flow_id, verdict in sorted(report.verdicts.items()):
+        verdict_rows.append(
+            [
+                str(flow_id),
+                verdict.traffic_class,
+                str(verdict.expected),
+                str(verdict.received),
+                str(verdict.lost),
+                str(verdict.duplicates),
+                _fmt_us(verdict.max_latency_ns),
+                _fmt_us(verdict.jitter_ns),
+                str(verdict.deadline_misses),
+                (
+                    "PASS" if verdict.passed
+                    else "FAIL " + ",".join(verdict.failures)
+                ) if verdict.monitored or not verdict.passed else "-",
+            ]
+        )
+    sections = [
+        render_table(
+            ["flow", "class", "expected", "received", "lost", "dup",
+             "max lat(us)", "jitter(us)", "ddl miss", "verdict"],
+            verdict_rows,
+            title="Per-flow SLO verdicts",
+        )
+    ]
+    violations = [
+        violation
+        for _, verdict in sorted(report.verdicts.items())
+        for violation in verdict.violations
+    ]
+    if violations:
+        rows = [
+            [
+                str(v.flow_id),
+                v.kind,
+                str(v.time_ns),
+                str(v.seq) if v.seq >= 0 else "-",
+                f"{v.observed:g}",
+                f"{v.bound:g}",
+            ]
+            for v in violations[:max_violations]
+        ]
+        title = f"Violations (first {len(rows)} of {report.total_violations})"
+        sections.append(
+            render_table(
+                ["flow", "kind", "time(ns)", "seq", "observed", "bound"],
+                rows,
+                title=title,
+            )
+        )
+    status = "PASS" if report.passed else (
+        f"FAIL: flows {', '.join(str(f) for f in report.failed_flows)} "
+        f"in violation"
+    )
+    sections.append(
+        f"SLO: {status} "
+        f"({report.monitored}/{len(report.verdicts)} flows monitored, "
+        f"{report.total_violations} violations)"
+    )
     return "\n\n".join(sections)
 
 

@@ -22,6 +22,11 @@ Five commands wrap the library's main workflows:
 ``metrics``
     Pretty-print a metrics snapshot produced by ``simulate --metrics`` (or
     a summary JSON embedding one).
+``slo``
+    Run a scenario under its SLO policy (the spec's ``"slo"`` stanza, plus
+    every flow-definition deadline) and print per-flow pass/fail verdicts.
+    Exit code 0 = all monitored flows pass, 1 = violations, 2 = nothing
+    monitored.
 """
 
 from __future__ import annotations
@@ -144,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--profile", action="store_true",
                           help="profile wall-clock time per simulation "
                                "component and print the table to stderr")
+    simulate.add_argument("--flow-spans", action="store_true",
+                          help="record per-frame hop events; journeys show "
+                               "as async flow tracks in --chrome-trace and "
+                               "a frame-accounting summary on stderr")
+    simulate.add_argument("--timeseries", type=Path, default=None,
+                          help="sample the metrics registry periodically "
+                               "and write the series as CSV here (implies "
+                               "a registry even without --metrics)")
+    simulate.add_argument("--timeseries-interval-us", type=float,
+                          default=1000.0,
+                          help="sampling interval for --timeseries "
+                               "(default: 1000us)")
+    simulate.add_argument("--prom", type=Path, default=None,
+                          help="write the final registry state in "
+                               "Prometheus text exposition format (implies "
+                               "a registry even without --metrics)")
+    simulate.add_argument("--drops", action="store_true",
+                          help="print the per-switch drops-by-reason and "
+                               "per-port occupancy tables to stderr")
 
     metrics = commands.add_parser(
         "metrics",
@@ -156,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-emit the snapshot as JSON instead of "
                               "tables (e.g. to extract the embedded "
                               "snapshot from a summary)")
+
+    slo = commands.add_parser(
+        "slo",
+        help="run a scenario under its SLO policy and print verdicts",
+    )
+    slo.add_argument("scenario", type=Path)
+    slo.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of tables")
+    slo.add_argument("--violations", type=int, default=20,
+                     help="individual violations to list (default: 20)")
 
     return parser
 
@@ -273,32 +307,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{len(violations) - len(errors)} warning(s)",
               file=sys.stderr)
         return 1 if errors else 0
+    from repro.obs.flowspans import FlowSpanRecorder, flow_stats
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profiler import WallClockProfiler
     from repro.sim.trace import Tracer
 
-    registry = MetricsRegistry() if args.metrics else None
+    needs_registry = args.metrics or args.timeseries or args.prom
+    registry = MetricsRegistry() if needs_registry else None
     tracer = (
         Tracer(enabled={"gate", "queue", "tx", "drop"})
         if args.chrome_trace or args.jsonl_trace
         else None
     )
     profiler = WallClockProfiler() if args.profile else None
-    result = spec.run(metrics=registry, tracer=tracer, profiler=profiler)
+    spans = FlowSpanRecorder() if args.flow_spans else None
+    testbed = spec.build_testbed(
+        metrics=registry, tracer=tracer, profiler=profiler, spans=spans
+    )
+    sampler = None
+    if args.timeseries:
+        from repro.core.units import us
+        from repro.obs.timeseries import TimeSeriesSampler
+
+        sampler = TimeSeriesSampler(
+            registry, testbed.sim, interval_ns=us(args.timeseries_interval_us)
+        )
+        sampler.start()
+    result = testbed.run(duration_ns=spec.duration_ns)
     summary = result_summary(result)
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.summary_json:
         args.summary_json.write_text(
             json.dumps(summary, indent=2, sort_keys=True)
         )
-    if registry is not None:
+    if args.metrics:
         args.metrics.write_text(registry.to_json())
         print(f"# metrics snapshot: {args.metrics}", file=sys.stderr)
     if args.chrome_trace:
         from repro.obs.chrome_trace import write_chrome_trace
 
         assert tracer is not None
-        write_chrome_trace(tracer.records, args.chrome_trace)
+        write_chrome_trace(tracer.records, args.chrome_trace,
+                           span_recorder=spans)
         print(f"# chrome trace ({len(tracer.records)} records): "
               f"{args.chrome_trace}", file=sys.stderr)
     if args.jsonl_trace:
@@ -307,12 +357,56 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         assert tracer is not None
         trace_to_jsonl(tracer.records, args.jsonl_trace)
         print(f"# jsonl trace: {args.jsonl_trace}", file=sys.stderr)
+    if spans is not None:
+        stats = flow_stats(spans.journeys(), result.expected_by_flow)
+        lost = sum(s.lost for s in stats.values())
+        dup = sum(s.duplicates for s in stats.values())
+        print(f"# flow spans: {len(spans)} events, "
+              f"{sum(s.frames for s in stats.values())} journeys, "
+              f"{lost} lost, {dup} duplicate", file=sys.stderr)
+        if spans.dropped_events:
+            print(f"# flow spans: {spans.dropped_events} events beyond the "
+                  f"recorder cap were not recorded", file=sys.stderr)
+    if sampler is not None:
+        args.timeseries.write_text(sampler.to_csv())
+        print(f"# time series ({sampler.samples_taken} samples, "
+              f"{len(sampler.rings)} series): {args.timeseries}",
+              file=sys.stderr)
+    if args.prom:
+        from repro.obs.timeseries import prometheus_exposition
+
+        args.prom.write_text(prometheus_exposition(registry))
+        print(f"# prometheus exposition: {args.prom}", file=sys.stderr)
+    if args.drops:
+        print(result.drop_report(), file=sys.stderr)
+        print(result.port_report(), file=sys.stderr)
     if profiler is not None:
         print(profiler.render(), file=sys.stderr)
     ts = summary["classes"]["TS"]
     if ts.get("received") and ts["loss"] == 0.0:
         print("# TS: zero loss", file=sys.stderr)
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_slo
+    from repro.obs.slo import SloPolicy
+
+    spec = ScenarioSpec.from_file(args.scenario)
+    # An absent stanza still monitors flow-definition deadlines.
+    policy = spec.build_slo_policy() or SloPolicy()
+    result = spec.run(slo_policy=policy)
+    report = result.slo
+    assert report is not None
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_slo(report, max_violations=args.violations))
+    if not report.monitored:
+        print("# no flow has any SLO bound; nothing was checked",
+              file=sys.stderr)
+        return 2
+    return 0 if report.passed else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -341,6 +435,7 @@ _HANDLERS = {
     "emit-rtl": _cmd_emit_rtl,
     "simulate": _cmd_simulate,
     "metrics": _cmd_metrics,
+    "slo": _cmd_slo,
 }
 
 

@@ -96,6 +96,9 @@ class TsnAnalyzer:
         self._flows = flows
         self.records: Dict[int, FlowRecord] = {}
         self.unknown_frames = 0
+        #: Optional :class:`~repro.obs.slo.SloMonitor`; when set, every
+        #: recorded arrival also streams through the SLO checks.
+        self.slo = None
         for flow in flows:
             self.records[flow.flow_id] = FlowRecord(
                 flow.flow_id, deadline_ns=flow.deadline_ns
@@ -113,7 +116,10 @@ class TsnAnalyzer:
             raise SimulationError(
                 f"frame of flow {frame.flow_id} carries no injection timestamp"
             )
-        record.note(self._sim.now - frame.created_ns, frame.seq)
+        latency_ns = self._sim.now - frame.created_ns
+        record.note(latency_ns, frame.seq)
+        if self.slo is not None:
+            self.slo.observe(frame.flow_id, frame.seq, latency_ns, self._sim.now)
 
     # ------------------------------------------------------------ statistics
 

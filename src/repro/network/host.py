@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.units import GIGABIT
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.sim.clock import LocalClock
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -47,8 +48,10 @@ class Host:
         rate_bps: int = GIGABIT,
         clock: Optional[LocalClock] = None,
         tracer: Tracer = NULL_TRACER,
+        spans: Optional[FlowSpanRecorder] = None,
     ) -> None:
         self._sim = sim
+        self._spans = spans
         self.name = name
         self.mac: MacAddress = make_mac(0x8000 + Host._next_index)
         Host._next_index += 1
@@ -75,6 +78,7 @@ class Host:
             scheduler=StrictPriorityScheduler(),
             counters=self.counters,
             tracer=tracer,
+            spans=spans,
             name=f"{name}.nic",
         )
         self._gates.set_on_change(self.nic.kick)
@@ -90,10 +94,14 @@ class Host:
 
     def inject(self, frame: EthernetFrame) -> bool:
         """Queue a locally generated frame for transmission (by PCP)."""
+        if self._spans is not None:
+            self._spans.record(self._sim.now, "inject", self.name, frame)
         return self.nic.enqueue(frame, frame.pcp)
 
     def receive(self, frame: EthernetFrame) -> None:
         """A frame arrived from the network."""
         self.received += 1
+        if self._spans is not None:
+            self._spans.record(self._sim.now, "rx", self.name, frame)
         if self.on_receive is not None:
             self.on_receive(frame)

@@ -37,8 +37,10 @@ from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError
 from repro.core.sizing import derive_config
 from repro.core.units import mbps, us
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
+from repro.obs.slo import SloPolicy
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.traffic.flows import FlowSet
 from repro.traffic.iec60802 import background_flows, production_cell_flows
@@ -75,6 +77,7 @@ class ScenarioSpec:
     gate_mechanism: str = "cqf"
     use_itp: bool = True
     injection_phase: str = "planned"
+    slo: Optional[Dict[str, Any]] = None  # SLO policy stanza (see obs.slo)
     rc_mbps: Optional[int] = None  # legacy alias; prefer flows.rc_mbps
     extras: Dict[str, Any] = field(default_factory=dict)
 
@@ -85,7 +88,7 @@ class ScenarioSpec:
         payload = dict(data)
         known = {
             "name", "topology", "flows", "config", "slot_us", "duration_ms",
-            "seed", "gate_mechanism", "use_itp", "injection_phase",
+            "seed", "gate_mechanism", "use_itp", "injection_phase", "slo",
         }
         extras = {k: payload.pop(k) for k in list(payload) if k not in known}
         missing = {"name", "topology", "flows"} - set(payload)
@@ -116,6 +119,8 @@ class ScenarioSpec:
             "use_itp": self.use_itp,
             "injection_phase": self.injection_phase,
         }
+        if self.slo is not None:
+            data["slo"] = self.slo
         data.update(self.extras)
         return data
 
@@ -182,19 +187,30 @@ class ScenarioSpec:
             f"config must be 'derive' or an object, got {self.config!r}"
         )
 
+    def build_slo_policy(self) -> Optional[SloPolicy]:
+        """The parsed ``"slo"`` stanza, or ``None`` when absent."""
+        if self.slo is None:
+            return None
+        return SloPolicy.from_dict(self.slo)
+
     def build_testbed(
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[WallClockProfiler] = None,
+        spans: Optional[FlowSpanRecorder] = None,
+        slo_policy: Optional[SloPolicy] = None,
     ) -> Testbed:
         """Instantiate the testbed, optionally with observability attached.
 
-        *metrics*, *tracer* and *profiler* thread a
+        *metrics*, *tracer*, *profiler* and *spans* thread a
         :class:`~repro.obs.metrics.MetricsRegistry`, an enabled
-        :class:`~repro.sim.trace.Tracer` and a wall-clock profiler through
-        every device -- the hooks behind ``repro simulate --metrics`` /
-        ``--chrome-trace``.
+        :class:`~repro.sim.trace.Tracer`, a wall-clock profiler and a
+        :class:`~repro.obs.flowspans.FlowSpanRecorder` through every device
+        -- the hooks behind ``repro simulate --metrics`` /
+        ``--chrome-trace`` / ``--flow-spans``.  *slo_policy* overrides the
+        spec's own ``"slo"`` stanza (used by ``repro slo``); by default the
+        stanza, if present, is parsed and monitored.
         """
         topology = self.build_topology()
         flows = self.build_flows()
@@ -211,6 +227,11 @@ class ScenarioSpec:
             tracer=tracer if tracer is not None else NULL_TRACER,
             metrics=metrics,
             profiler=profiler,
+            spans=spans,
+            slo_policy=(
+                slo_policy if slo_policy is not None
+                else self.build_slo_policy()
+            ),
             **self.extras,
         )
 
@@ -219,7 +240,10 @@ class ScenarioSpec:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[WallClockProfiler] = None,
+        spans: Optional[FlowSpanRecorder] = None,
+        slo_policy: Optional[SloPolicy] = None,
     ) -> ScenarioResult:
         return self.build_testbed(
-            metrics=metrics, tracer=tracer, profiler=profiler
+            metrics=metrics, tracer=tracer, profiler=profiler,
+            spans=spans, slo_policy=slo_policy,
         ).run(duration_ns=self.duration_ns)

@@ -30,8 +30,10 @@ from repro.core.units import GIGABIT, ms, serialization_ns, wire_bytes
 from repro.cqf.gcl_gen import DEFAULT_TS_QUEUE_PAIR, cqf_port_program
 from repro.cqf.itp import ItpPlan, ItpPlanner, unplanned_plan
 from repro.cqf.schedule import CqfSchedule
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
+from repro.obs.slo import SloMonitor, SloPolicy, SloReport
 from repro.sim.clock import LocalClock
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngFactory
@@ -68,6 +70,8 @@ class ScenarioResult:
     metrics: Optional[MetricsRegistry] = None
     tracer: Tracer = NULL_TRACER
     sim_stats: Dict[str, int] = field(default_factory=dict)
+    spans: Optional[FlowSpanRecorder] = None
+    slo: Optional[SloReport] = None
 
     # ------------------------------------------------------------ shortcuts
 
@@ -147,6 +151,30 @@ class ScenarioResult:
             title="Per-port occupancy and drops",
         )
 
+    def drop_report(self) -> str:
+        """Per-switch drop totals broken down by reason.
+
+        One row per switch, one column per drop stage (lookup miss,
+        policer, Qci gate filter, queue tail, buffer exhaustion) -- the
+        where-did-loss-come-from view the undersizing ablations read.
+        """
+        from repro.analysis.report import render_table
+
+        reasons = ("unknown_dst", "policer", "gate", "tail", "no_buffer")
+        rows = []
+        for name, switch in self.switches.items():
+            counters = switch.counters
+            rows.append(
+                [name]
+                + [str(getattr(counters, f"dropped_{r}")) for r in reasons]
+                + [str(counters.dropped_total)]
+            )
+        return render_table(
+            ["switch"] + list(reasons) + ["total"],
+            rows,
+            title="Drops by reason",
+        )
+
 
 class Testbed:
     """Builds and runs one scenario."""
@@ -180,6 +208,8 @@ class Testbed:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[WallClockProfiler] = None,
+        spans: Optional[FlowSpanRecorder] = None,
+        slo_policy: Optional[SloPolicy] = None,
     ) -> None:
         topology.validate()
         config.validate()
@@ -226,6 +256,9 @@ class Testbed:
         self.tracer = tracer
         self.metrics = metrics
         self.profiler = profiler
+        self.spans = spans
+        self.slo_policy = slo_policy
+        self.slo_monitor = None
         self.sim = Simulator(profiler=profiler)
         self.rng = RngFactory(seed)
         self.sync_domain: Optional[SyncDomain] = None
@@ -350,6 +383,7 @@ class Testbed:
                 express_queues=self.ts_queue_pair,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                spans=self.spans,
                 name=name,
             )
         if self.enable_gptp:
@@ -391,7 +425,11 @@ class Testbed:
         # two attachments) but must be one device
         for host_name in dict.fromkeys(self.topology.hosts):
             self.hosts[host_name] = Host(
-                self.sim, host_name, rate_bps=self.rate_bps, tracer=self.tracer
+                self.sim,
+                host_name,
+                rate_bps=self.rate_bps,
+                tracer=self.tracer,
+                spans=self.spans,
             )
 
     def _wire_links(self) -> None:
@@ -691,6 +729,11 @@ class Testbed:
         from repro.frer.elimination import FrerEliminator
 
         self.analyzer = TsnAnalyzer(self.sim, self.flows)
+        if self.slo_policy is not None:
+            self.slo_monitor = SloMonitor(
+                self.slo_policy, self.flows, metrics=self.metrics
+            )
+            self.analyzer.slo = self.slo_monitor
         for attachment in self.topology.attachments:
             host = self.hosts[attachment.host]
             if self.frer_ts:
@@ -732,6 +775,7 @@ class Testbed:
                             offset_ns=offset,
                             vlan_id=member_vid,
                             pcp=flow.effective_pcp,
+                            spans=self.spans,
                         )
                     )
             else:
@@ -754,6 +798,7 @@ class Testbed:
                             and flow.traffic_class is TrafficClass.BE
                         ),
                         rng=self.rng.stream(f"flow{flow.flow_id}.gaps"),
+                        spans=self.spans,
                     )
                 )
 
@@ -811,6 +856,11 @@ class Testbed:
         self.sim.run(until=start_ns + duration_ns + drain_slots * self.slot_ns)
         expected = {source.flow_id: source.emitted for source in self._sources}
         assert self.analyzer is not None
+        slo_report = (
+            self.slo_monitor.report(expected, end_ns=self.sim.now)
+            if self.slo_monitor is not None
+            else None
+        )
         return ScenarioResult(
             duration_ns=duration_ns,
             slot_ns=self.slot_ns,
@@ -822,4 +872,6 @@ class Testbed:
             metrics=self.metrics,
             tracer=self.tracer,
             sim_stats=self.sim.stats.as_dict(),
+            spans=self.spans,
+            slo=slo_report,
         )

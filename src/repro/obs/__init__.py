@@ -7,7 +7,11 @@ Everything the evaluation needs to *see inside* a run lives here:
 * the opt-in wall-clock :class:`WallClockProfiler` the kernel hooks
   (:mod:`repro.obs.profiler`);
 * pre-bound dataplane instruments (:mod:`repro.obs.instruments`);
-* Chrome trace-event / JSONL exporters (:mod:`repro.obs.chrome_trace`).
+* Chrome trace-event / JSONL exporters (:mod:`repro.obs.chrome_trace`);
+* frame-journey span recording (:mod:`repro.obs.flowspans`);
+* per-flow SLO monitors (:mod:`repro.obs.slo`);
+* ring-buffered time series + Prometheus/CSV export
+  (:mod:`repro.obs.timeseries`).
 
 See ``docs/observability.md`` for the metric catalogue and exporter
 formats.
@@ -20,6 +24,7 @@ from .chrome_trace import (
     trace_to_jsonl,
     write_chrome_trace,
 )
+from .flowspans import FlowSpanRecorder, FrameJourney, flow_stats
 from .instruments import PortInstruments, SwitchInstruments
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_NS,
@@ -30,6 +35,8 @@ from .metrics import (
     log_buckets,
 )
 from .profiler import NULL_PROFILER, NullProfiler, WallClockProfiler
+from .slo import SloMonitor, SloPolicy, SloReport, SloSpec
+from .timeseries import RingBuffer, TimeSeriesSampler, prometheus_exposition
 
 __all__ = [
     "MetricsRegistry",
@@ -48,4 +55,14 @@ __all__ = [
     "instant_events",
     "write_chrome_trace",
     "trace_to_jsonl",
+    "FlowSpanRecorder",
+    "FrameJourney",
+    "flow_stats",
+    "SloSpec",
+    "SloPolicy",
+    "SloMonitor",
+    "SloReport",
+    "RingBuffer",
+    "TimeSeriesSampler",
+    "prometheus_exposition",
 ]

@@ -7,17 +7,23 @@ queue's track, with enqueue/tx/drop instants overlaid.  This turns the
 append-only :class:`~repro.sim.trace.Tracer` log into the paper's Fig. 5
 "gates breathing" picture, zoomable and searchable.
 
-Two shapes are produced:
+Three shapes are produced:
 
 * **duration events** (``ph: "X"``) -- gate-open windows reconstructed from
   ``gate`` records (one track per queue per direction, one process per
   port engine);
 * **instant events** (``ph: "i"``) -- every other record, grouped into one
-  process per category with one thread per emitting component.
+  process per category with one thread per emitting component;
+* **async events** (``ph: "b"/"n"/"e"``) -- frame journeys from a
+  :class:`~repro.obs.flowspans.FlowSpanRecorder`: each frame's whole path
+  becomes one async span on its flow's track, with every hop event as a
+  named instant inside it.
 
 All events carry the five keys the format requires (``name, ph, ts, pid,
 tid``); timestamps are microseconds as the format dictates (simulation
-nanoseconds / 1000).
+nanoseconds / 1000).  ``process_sort_index`` metadata pins the process
+ordering to allocation order so Perfetto's row layout is stable across
+loads.
 """
 
 from __future__ import annotations
@@ -26,10 +32,12 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.sim.trace import TraceRecord
 
 __all__ = [
     "chrome_trace_events",
+    "flow_span_events",
     "gate_span_events",
     "instant_events",
     "write_chrome_trace",
@@ -62,6 +70,18 @@ class _Tracks:
                     "pid": pid,
                     "tid": 0,
                     "args": {"name": process},
+                }
+            )
+            # Pin the viewer's row order to allocation order; without this
+            # Perfetto sorts rows ad hoc and layouts shift between loads.
+            self.metadata.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": pid},
                 }
             )
         return pid
@@ -181,16 +201,81 @@ def instant_events(
     return events
 
 
+def flow_span_events(
+    spans: FlowSpanRecorder,
+    tracks: Optional[_Tracks] = None,
+) -> List[Dict[str, Any]]:
+    """Frame journeys as async (``"b"/"n"/"e"``) events.
+
+    Each flow becomes one process (``flow 3``); each frame's journey is one
+    async span identified by its unique frame id, so overlapping frames of
+    the same flow nest instead of colliding.  The span opens at the first
+    observed event (generation), closes at the last (listener arrival or
+    drop), and every hop event in between shows as a named instant
+    (``enqueue sw0.p1`` ...) inside the span.
+    """
+    tracks = tracks or _Tracks()
+    events: List[Dict[str, Any]] = []
+    for journey in spans.journeys():
+        pid = tracks.pid(f"flow {journey.flow_id}")
+        tid = tracks.tid(pid, "frames")
+        span_id = f"0x{journey.frame_id:x}"
+        name = f"flow {journey.flow_id} seq {journey.seq}"
+        outcome = (
+            "delivered" if journey.delivered
+            else "dropped" if journey.dropped
+            else "in-flight"
+        )
+        common = {"cat": "flow", "id": span_id, "pid": pid, "tid": tid}
+        events.append(
+            {
+                "name": name,
+                "ph": "b",
+                "ts": _us(journey.start_ns),
+                "args": {"seq": journey.seq, "outcome": outcome},
+                **common,
+            }
+        )
+        for event in journey.events[1:-1]:
+            events.append(
+                {
+                    "name": f"{event.kind} {event.node}",
+                    "ph": "n",
+                    "ts": _us(event.time_ns),
+                    "args": (
+                        {"queue": event.detail} if event.detail >= 0 else {}
+                    ),
+                    **common,
+                }
+            )
+        events.append(
+            {
+                "name": name,
+                "ph": "e",
+                "ts": _us(journey.end_ns),
+                "args": {"outcome": outcome},
+                **common,
+            }
+        )
+    return events
+
+
 def chrome_trace_events(
     records: Sequence[TraceRecord],
     end_ns: Optional[int] = None,
     extra_events: Sequence[Dict[str, Any]] = (),
+    span_recorder: Optional[FlowSpanRecorder] = None,
 ) -> List[Dict[str, Any]]:
-    """The full event array: metadata, gate spans, instants, extras."""
+    """The full event array: metadata, gate spans, instants, flows, extras."""
     tracks = _Tracks()
     spans = gate_span_events(records, end_ns=end_ns, tracks=tracks)
     instants = instant_events(records, tracks=tracks)
-    return tracks.metadata + spans + instants + list(extra_events)
+    flows = (
+        flow_span_events(span_recorder, tracks=tracks)
+        if span_recorder is not None
+        else []
+    )
+    return tracks.metadata + spans + instants + flows + list(extra_events)
 
 
 def write_chrome_trace(
@@ -198,11 +283,13 @@ def write_chrome_trace(
     path: PathLike,
     end_ns: Optional[int] = None,
     extra_events: Sequence[Dict[str, Any]] = (),
+    span_recorder: Optional[FlowSpanRecorder] = None,
 ) -> Path:
     """Write a Chrome trace-event JSON array; open it in Perfetto."""
     path = Path(path)
     events = chrome_trace_events(records, end_ns=end_ns,
-                                 extra_events=extra_events)
+                                 extra_events=extra_events,
+                                 span_recorder=span_recorder)
     path.write_text(json.dumps(events, indent=1))
     return path
 

@@ -305,6 +305,9 @@ class Histogram(_Instrument):
             "min": series.min,
             "max": series.max,
             "mean": series.mean,
+            "p50": series.quantile(0.50),
+            "p95": series.quantile(0.95),
+            "p99": series.quantile(0.99),
             "buckets": [
                 {"le": bound, "count": count}
                 for bound, count in zip(series.bounds, series.bucket_counts)

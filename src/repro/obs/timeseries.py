@@ -1,0 +1,273 @@
+"""Metrics over time: ring-buffered sampling and Prometheus/CSV export.
+
+A final :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` collapses a
+whole run into one point; long heavy-traffic runs need *trends* -- queue
+depth ramping toward a tail-drop, buffer occupancy breathing with the CQF
+slot cadence, violation rate under a load step.  This module adds:
+
+* :class:`RingBuffer` -- fixed-capacity sample storage.  Memory is bounded
+  regardless of run length; once full, the oldest samples are overwritten
+  and counted (``overwritten``), so a 10-second run and a 10-hour run cost
+  the same RAM.
+* :class:`TimeSeriesSampler` -- a simulation process that snapshots every
+  registry series each ``interval_ns`` into one ring per (metric, label
+  set): counters sample their running total, gauges their level,
+  histograms their observation count.
+* :func:`prometheus_exposition` -- the registry in Prometheus text
+  exposition format (version 0.0.4): ``# HELP``/``# TYPE`` headers,
+  escaped label values, *cumulative* histogram buckets with the mandatory
+  ``+Inf`` bound, plus ``_high_water`` companions for gauges.
+
+The sampler costs nothing when not constructed; sampling cost scales with
+series count, not traffic rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
+from repro.sim.kernel import Simulator
+
+__all__ = [
+    "RingBuffer",
+    "TimeSeriesSampler",
+    "prometheus_exposition",
+]
+
+DEFAULT_CAPACITY = 1024
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO that overwrites its oldest entries when full."""
+
+    __slots__ = ("capacity", "_data", "_start", "overwritten")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"ring capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._data: List[Any] = []
+        self._start = 0
+        self.overwritten = 0
+
+    def append(self, item: Any) -> None:
+        if len(self._data) < self.capacity:
+            self._data.append(item)
+        else:
+            self._data[self._start] = item
+            self._start = (self._start + 1) % self.capacity
+            self.overwritten += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Oldest to newest."""
+        for index in range(len(self._data)):
+            yield self._data[(self._start + index) % len(self._data)]
+
+    def items(self) -> List[Any]:
+        return list(self)
+
+    @property
+    def latest(self) -> Optional[Any]:
+        if not self._data:
+            return None
+        return self._data[(self._start - 1) % len(self._data)]
+
+
+def _sample_value(instrument: Any, series: Any) -> float:
+    if isinstance(instrument, Counter):
+        return series.value
+    if isinstance(instrument, Gauge):
+        return series.value
+    if isinstance(instrument, Histogram):
+        return series.count
+    raise ConfigurationError(
+        f"cannot sample instrument kind {instrument.kind!r}"
+    )
+
+
+class TimeSeriesSampler:
+    """Periodic registry snapshots into per-series rings.
+
+    Attach before the run and :meth:`start` it; each tick walks every
+    registered series and appends ``(time_ns, value)`` to that series'
+    ring.  Series appearing mid-run (label sets bind lazily) simply start
+    sampling at the next tick.  The self-rescheduling tick chain is cut off
+    by the kernel's ``run(until=...)`` horizon, so no explicit stop is
+    needed.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sim: Simulator,
+        interval_ns: int,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive, got {interval_ns}"
+            )
+        self.registry = registry
+        self._sim = sim
+        self.interval_ns = interval_ns
+        self.capacity = capacity
+        #: (metric name, label key) -> ring of (time_ns, value).
+        self.rings: Dict[Tuple[str, LabelKey], RingBuffer] = {}
+        self.samples_taken = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("sampler already started")
+        self._started = True
+        self._sim.schedule(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        self.sample()
+        self._sim.schedule(self.interval_ns, self._tick)
+
+    def sample(self) -> None:
+        """Record one sample of every series right now."""
+        now = self._sim.now
+        for instrument in self.registry:
+            for label_key, series in instrument.series():
+                ring = self.rings.get((instrument.name, label_key))
+                if ring is None:
+                    ring = self.rings[(instrument.name, label_key)] = (
+                        RingBuffer(self.capacity)
+                    )
+                ring.append((now, _sample_value(instrument, series)))
+        self.samples_taken += 1
+
+    # ---------------------------------------------------------------- export
+
+    def series(self) -> Dict[str, Dict[LabelKey, List[Tuple[int, float]]]]:
+        """metric name -> label key -> [(time_ns, value)] oldest-first."""
+        result: Dict[str, Dict[LabelKey, List[Tuple[int, float]]]] = {}
+        for (name, label_key), ring in sorted(self.rings.items()):
+            result.setdefault(name, {})[label_key] = ring.items()
+        return result
+
+    def to_csv(self) -> str:
+        """Long-format CSV: ``time_ns,metric,labels,value`` per sample.
+
+        Labels render as ``k=v`` pairs joined with ``;`` and the cell is
+        quoted, so spreadsheet tooling splits on the three real commas.
+        """
+        lines = ["time_ns,metric,labels,value"]
+        for (name, label_key), ring in sorted(self.rings.items()):
+            labels = ";".join(f"{k}={v}" for k, v in label_key)
+            for time_ns, value in ring:
+                rendered = (
+                    f"{value:g}" if isinstance(value, float) else str(value)
+                )
+                lines.append(f'{time_ns},{name},"{labels}",{rendered}')
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------- Prometheus
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(label_key: LabelKey, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"' for name, value in label_key
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Counters keep their registered names (the repo already uses ``_total``
+    suffixes where conventional); gauges additionally expose their
+    high-water marks as ``<name>_high_water``; histograms emit cumulative
+    ``_bucket``/``_sum``/``_count`` series with the mandatory ``+Inf``
+    bound.
+    """
+    lines: List[str] = []
+    for instrument in registry:
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Counter):
+            for label_key, series in instrument.series():
+                lines.append(
+                    f"{name}{_render_labels(label_key)} "
+                    f"{_render_value(series.value)}"
+                )
+        elif isinstance(instrument, Gauge):
+            high_water_lines: List[str] = []
+            for label_key, series in instrument.series():
+                lines.append(
+                    f"{name}{_render_labels(label_key)} "
+                    f"{_render_value(series.value)}"
+                )
+                high_water_lines.append(
+                    f"{name}_high_water{_render_labels(label_key)} "
+                    f"{_render_value(series.high_water)}"
+                )
+            if high_water_lines:
+                lines.append(
+                    f"# TYPE {name}_high_water gauge"
+                )
+                lines.extend(high_water_lines)
+        elif isinstance(instrument, Histogram):
+            for label_key, series in instrument.series():
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    series.bounds, series.bucket_counts
+                ):
+                    cumulative += bucket_count
+                    le = f'le="{bound}"'
+                    lines.append(
+                        f"{name}_bucket{_render_labels(label_key, le)} "
+                        f"{cumulative}"
+                    )
+                cumulative += series.bucket_counts[-1]
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{name}_bucket{_render_labels(label_key, inf)} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(label_key)} "
+                    f"{_render_value(series.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(label_key)} "
+                    f"{series.count}"
+                )
+    return "\n".join(lines) + "\n"

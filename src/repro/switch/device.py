@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError, TopologyError
 from repro.core.units import GIGABIT
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.instruments import PortInstruments, SwitchInstruments
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import LocalClock
@@ -72,6 +73,7 @@ class TsnSwitch:
         express_queues: Tuple[int, ...] = (6, 7),
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[FlowSpanRecorder] = None,
         name: Optional[str] = None,
     ) -> None:
         config.validate()
@@ -101,6 +103,7 @@ class TsnSwitch:
             else None
         )
         self._tracer = tracer
+        self._spans = spans
         # One SwitchInstruments per device binds this switch's label space
         # in the (shared) registry; None keeps the uninstrumented fast path.
         self.instruments: Optional[SwitchInstruments] = (
@@ -163,6 +166,7 @@ class TsnSwitch:
             express_queues=self.express_queues,
             tracer=self._tracer,
             instruments=port_instruments,
+            spans=self._spans,
             name=f"{self.name}.p{port_id}",
         )
         engine.set_on_change(port.kick)
@@ -289,6 +293,8 @@ class TsnSwitch:
         self.counters.received += 1
         if self.instruments is not None:
             self.instruments.on_received()
+        if self._spans is not None:
+            self._spans.record(self._sim.now, "ingress", self.name, frame)
         self._sim.schedule(
             self.processing_delay_ns, lambda: self._process(frame)
         )
@@ -302,6 +308,8 @@ class TsnSwitch:
                 f"{self.name} {decision.drop_reason}",
                 flow=frame.flow_id,
             )
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
             return
         for outport, queue_id in decision.targets:
             local = self._local_hosts.get(outport)

@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.units import serialization_ns, wire_bytes
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.instruments import PortInstruments
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -99,6 +100,7 @@ class EgressPort:
         express_queues: Tuple[int, ...] = (6, 7),
         tracer: Tracer = NULL_TRACER,
         instruments: Optional[PortInstruments] = None,
+        spans: Optional[FlowSpanRecorder] = None,
         name: str = "port",
     ) -> None:
         if rate_bps <= 0:
@@ -118,6 +120,7 @@ class EgressPort:
         self.preemptions = 0
         self._tracer = tracer
         self._obs = instruments
+        self._spans = spans
         self.name = name
         self._deliver: Optional[DeliverFn] = None
         self._busy_until = 0
@@ -161,6 +164,8 @@ class EgressPort:
                 queue.stats.gate_drops += 1
             if self._obs is not None:
                 self._obs.on_drop("gate")
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
             return False
         queue = self._queue_by_id.get(target_id)
         if queue is None:
@@ -172,6 +177,8 @@ class EgressPort:
             self.counters.dropped_no_buffer += 1
             if self._obs is not None:
                 self._obs.on_drop("no_buffer")
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
             return False
         descriptor = Descriptor(
             frame=frame,
@@ -184,11 +191,17 @@ class EgressPort:
             self.counters.dropped_tail += 1
             if self._obs is not None:
                 self._obs.on_drop("tail")
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
             return False
         self.counters.note_enqueue(target_id)
         if self._obs is not None:
             self._obs.on_enqueue(target_id, len(queue))
             self._obs.on_buffer(self.pool.in_use)
+        if self._spans is not None:
+            self._spans.record(
+                self._sim.now, "enqueue", self.name, frame, target_id
+            )
         self._update_shaper_backlog(target_id)
         self._tracer.emit(
             self._sim.now,
@@ -302,6 +315,10 @@ class EgressPort:
         if self._obs is not None:
             self._obs.on_dequeue(
                 queue.queue_id, len(queue), now - descriptor.enqueued_ns
+            )
+        if self._spans is not None:
+            self._spans.record(
+                now, "dequeue", self.name, descriptor.frame, queue.queue_id
             )
         shaper = self.scheduler.shapers.get(queue.queue_id)
         if shaper is not None:
@@ -425,6 +442,11 @@ class EgressPort:
         if self._obs is not None:
             self._obs.on_buffer(self.pool.in_use)
             self._obs.on_transmitted()
+        if self._spans is not None:
+            self._spans.record(
+                self._sim.now, "tx", self.name, tx.descriptor.frame,
+                tx.queue_id
+            )
         shaper = self.scheduler.shapers.get(tx.queue_id)
         if shaper is not None:
             shaper.end_transmission(

@@ -22,6 +22,7 @@ from typing import Callable, Optional
 import random
 
 from repro.core.errors import ConfigurationError
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.sim.kernel import Simulator
 from repro.switch.packet import EthernetFrame, MacAddress
 
@@ -43,9 +44,11 @@ class _SourceBase:
         vlan_id: int,
         pcp: int,
         size_bytes: int,
+        spans: Optional[FlowSpanRecorder] = None,
     ) -> None:
         self._sim = sim
         self._inject = inject
+        self._spans = spans
         self.flow_id = flow_id
         self.src_mac = src_mac
         self.dst_mac = dst_mac
@@ -71,6 +74,8 @@ class _SourceBase:
             created_ns=self._sim.now,
         )
         self.emitted += 1
+        if self._spans is not None:
+            self._spans.record(self._sim.now, "gen", f"flow{self.flow_id}", frame)
         self._inject(frame)
 
 
@@ -95,9 +100,11 @@ class PeriodicSource(_SourceBase):
         vlan_id: int = 1,
         pcp: int = 7,
         limit: Optional[int] = None,
+        spans: Optional[FlowSpanRecorder] = None,
     ) -> None:
         super().__init__(
-            sim, inject, flow_id, src_mac, dst_mac, vlan_id, pcp, size_bytes
+            sim, inject, flow_id, src_mac, dst_mac, vlan_id, pcp, size_bytes,
+            spans=spans,
         )
         if period_ns <= 0:
             raise ConfigurationError(f"period must be positive, got {period_ns}")
@@ -143,9 +150,11 @@ class RateSource(_SourceBase):
         poisson: bool = False,
         rng: Optional[random.Random] = None,
         until_ns: Optional[int] = None,
+        spans: Optional[FlowSpanRecorder] = None,
     ) -> None:
         super().__init__(
-            sim, inject, flow_id, src_mac, dst_mac, vlan_id, pcp, size_bytes
+            sim, inject, flow_id, src_mac, dst_mac, vlan_id, pcp, size_bytes,
+            spans=spans,
         )
         if rate_bps < 0:
             raise ConfigurationError(f"rate must be >= 0, got {rate_bps}")

@@ -146,6 +146,39 @@ class TestSimulate:
         assert main(["simulate", str(path), "--profile"]) == 0
         assert "Wall-clock profile" in capsys.readouterr().err
 
+    def test_flow_spans_add_async_trace_events(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["simulate", str(path), "--flow-spans",
+                     "--chrome-trace", str(out)]) == 0
+        events = json.loads(out.read_text())
+        phases = {e["ph"] for e in events}
+        assert {"b", "n", "e"} <= phases
+        begins = [e for e in events if e["ph"] == "b"]
+        assert all(e["cat"] == "flow" for e in begins)
+        assert "flow" in capsys.readouterr().err  # stderr flow summary
+
+    def test_timeseries_flag_writes_csv(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "series.csv"
+        assert main(["simulate", str(path), "--timeseries", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "time_ns,metric,labels,value"
+        assert len(lines) > 1
+
+    def test_prom_flag_writes_exposition(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "metrics.prom"
+        assert main(["simulate", str(path), "--prom", str(out)]) == 0
+        text = out.read_text()
+        assert "# TYPE frames_total counter" in text
+        assert 'le="+Inf"' in text
+
+    def test_drops_flag_prints_report(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["simulate", str(path), "--drops"]) == 0
+        assert "Drops by reason" in capsys.readouterr().err
+
 
 class TestMetricsCommand:
     def _snapshot(self, tmp_path, capsys):
@@ -184,6 +217,54 @@ class TestMetricsCommand:
         bogus.write_text(json.dumps({"hello": "world"}))
         assert main(["metrics", str(bogus)]) == 2
         assert "does not contain" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    def _scenario(self, tmp_path, slo=None):
+        data = {
+            "name": "slo-test",
+            "topology": {"kind": "ring", "switch_count": 2,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_count": 8},
+            "config": "derive",
+            "slot_us": 62.5,
+            "duration_ms": 15,
+        }
+        if slo is not None:
+            data["slo"] = slo
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_generous_budget_passes(self, tmp_path, capsys):
+        path = self._scenario(
+            tmp_path, slo={"class": {"TS": {"latency_us": 10000}}}
+        )
+        assert main(["slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO: PASS" in out
+
+    def test_impossible_budget_fails_with_exit_1(self, tmp_path, capsys):
+        path = self._scenario(
+            tmp_path, slo={"class": {"TS": {"latency_ns": 1}}}
+        )
+        assert main(["slo", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SLO: FAIL" in out and "latency" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._scenario(
+            tmp_path, slo={"default": {"max_loss": 0.0}}
+        )
+        assert main(["slo", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert report["monitored_flows"] == 8
+
+    def test_bad_slo_stanza_is_a_usage_error(self, tmp_path, capsys):
+        path = self._scenario(tmp_path, slo={"default": {"bogus": 1}})
+        assert main(["slo", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSizeOptimize:

@@ -98,6 +98,39 @@ class TestRunning:
         assert result.ts_loss > 0.0
 
 
+class TestSloStanza:
+    def test_slo_key_parses_and_round_trips(self):
+        slo = {"class": {"TS": {"latency_us": 500}},
+               "flows": {"0": {"latency_us": 50}}}
+        spec = ScenarioSpec.from_dict(_spec_dict(slo=slo))
+        assert spec.slo == slo
+        assert "slo" not in spec.extras  # not splatted into Testbed
+        assert ScenarioSpec.from_dict(spec.to_dict()).slo == slo
+
+    def test_build_slo_policy(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(slo={"default": {"max_loss": 0.0}})
+        )
+        policy = spec.build_slo_policy()
+        assert policy is not None
+        assert policy.default.max_loss == 0.0
+        assert ScenarioSpec.from_dict(_spec_dict()).build_slo_policy() is None
+
+    def test_run_attaches_slo_report(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(slo={"class": {"TS": {"latency_us": 10000,
+                                             "max_loss": 0.0}}})
+        )
+        result = spec.run()
+        assert result.slo is not None
+        assert result.slo.passed
+        assert result.slo.monitored == 8
+
+    def test_run_without_stanza_has_no_report(self):
+        result = ScenarioSpec.from_dict(_spec_dict()).run()
+        assert result.slo is None
+
+
 class TestFrerScenario:
     def test_dual_path_frer_via_scenario_file(self):
         """FRER is reachable purely declaratively (topology kind +

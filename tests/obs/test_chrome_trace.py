@@ -4,12 +4,21 @@ import json
 
 from repro.obs.chrome_trace import (
     chrome_trace_events,
+    flow_span_events,
     gate_span_events,
     instant_events,
     trace_to_jsonl,
     write_chrome_trace,
 )
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.sim.trace import TraceRecord
+
+
+class _Frame:
+    def __init__(self, frame_id, flow_id=0, seq=0):
+        self.frame_id = frame_id
+        self.flow_id = flow_id
+        self.seq = seq
 
 
 def gate_record(time, engine, kind, mask):
@@ -102,9 +111,22 @@ class TestFullExport:
         events = chrome_trace_events(records)
         metadata = [e for e in events if e["ph"] == "M"]
         names = {e["name"] for e in metadata}
-        assert names == {"process_name", "thread_name"}
+        assert names == {"process_name", "thread_name",
+                         "process_sort_index"}
         process = next(e for e in metadata if e["name"] == "process_name")
         assert process["args"]["name"] == "sw0.p0"
+
+    def test_sort_index_pins_track_order(self):
+        records = [
+            gate_record(0, "sw0.p0", "out", "00000001"),
+            gate_record(0, "sw0.p1", "out", "00000001"),
+            gate_record(1000, "sw0.p0", "out", "00000000"),
+            gate_record(1000, "sw0.p1", "out", "00000000"),
+        ]
+        events = chrome_trace_events(records)
+        sorts = [e for e in events if e["name"] == "process_sort_index"]
+        assert [s["args"]["sort_index"] for s in sorts] == \
+            [s["pid"] for s in sorts]
 
     def test_extra_events_are_appended(self):
         extra = {"name": "marker", "ph": "i", "ts": 0, "pid": 99, "tid": 1,
@@ -115,6 +137,48 @@ class TestFullExport:
     def test_empty_records_still_valid_json_array(self, tmp_path):
         path = write_chrome_trace([], tmp_path / "empty.json")
         assert json.loads(path.read_text()) == []
+
+
+class TestFlowSpans:
+    def _recorder(self):
+        recorder = FlowSpanRecorder()
+        frame = _Frame(0x2a, flow_id=3, seq=5)
+        recorder.record(1000, "gen", "flow3", frame)
+        recorder.record(2000, "enqueue", "sw0.p1", frame, detail=6)
+        recorder.record(3000, "ingress", "sw1", frame)
+        recorder.record(9000, "rx", "listener", frame)
+        return recorder
+
+    def test_journey_becomes_one_async_span(self):
+        events = flow_span_events(self._recorder())
+        assert [e["ph"] for e in events] == ["b", "n", "n", "e"]
+        begin, enqueue, _, end = events
+        assert begin["name"] == "flow 3 seq 5"
+        assert begin["ts"] == 1.0 and end["ts"] == 9.0
+        assert begin["args"]["outcome"] == "delivered"
+        assert enqueue["name"] == "enqueue sw0.p1"
+        assert enqueue["args"] == {"queue": 6}
+        # All four share the flow category and the frame-id span id.
+        assert {e["cat"] for e in events} == {"flow"}
+        assert {e["id"] for e in events} == {"0x2a"}
+
+    def test_flows_share_a_process_per_flow_id(self):
+        recorder = FlowSpanRecorder()
+        for frame in (_Frame(1, flow_id=0), _Frame(2, flow_id=0, seq=1),
+                      _Frame(3, flow_id=1)):
+            recorder.record(0, "gen", "f", frame)
+            recorder.record(5, "rx", "l", frame)
+        events = flow_span_events(recorder)
+        pids = {e["name"]: e["pid"] for e in events if e["ph"] == "b"}
+        assert pids["flow 0 seq 0"] == pids["flow 0 seq 1"]
+        assert pids["flow 0 seq 0"] != pids["flow 1 seq 0"]
+
+    def test_span_recorder_threads_through_full_export(self):
+        events = chrome_trace_events([], span_recorder=self._recorder())
+        assert [e["ph"] for e in events if e["ph"] in "bne"] == \
+            ["b", "n", "n", "e"]
+        process = next(e for e in events if e["name"] == "process_name")
+        assert process["args"]["name"] == "flow 3"
 
 
 class TestJsonl:

@@ -1,0 +1,165 @@
+"""Frame-journey recording and reconstruction."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.flowspans import (
+    FlowSpanRecorder,
+    FrameJourney,
+    HopEvent,
+    flow_stats,
+)
+
+
+class _Frame:
+    """Minimal stand-in carrying the three identity fields."""
+
+    def __init__(self, frame_id, flow_id=0, seq=0):
+        self.frame_id = frame_id
+        self.flow_id = flow_id
+        self.seq = seq
+
+
+def _journey(events, flow_id=0, seq=0, frame_id=0):
+    journey = FrameJourney(frame_id, flow_id, seq)
+    journey.events = [HopEvent(*e) for e in events]
+    return journey
+
+
+class TestRecorder:
+    def test_events_grouped_per_frame(self):
+        recorder = FlowSpanRecorder()
+        a, b = _Frame(1, flow_id=0, seq=0), _Frame(2, flow_id=0, seq=1)
+        recorder.record(0, "gen", "flow0", a)
+        recorder.record(5, "gen", "flow0", b)
+        recorder.record(10, "rx", "listener", a)
+        recorder.record(15, "rx", "listener", b)
+        journeys = recorder.journeys()
+        assert [j.seq for j in journeys] == [0, 1]
+        assert [e.kind for e in journeys[0].events] == ["gen", "rx"]
+
+    def test_journeys_sorted_by_flow_then_seq(self):
+        recorder = FlowSpanRecorder()
+        recorder.record(0, "gen", "f", _Frame(10, flow_id=3, seq=0))
+        recorder.record(1, "gen", "f", _Frame(11, flow_id=1, seq=1))
+        recorder.record(2, "gen", "f", _Frame(12, flow_id=1, seq=0))
+        ordering = [(j.flow_id, j.seq) for j in recorder.journeys()]
+        assert ordering == [(1, 0), (1, 1), (3, 0)]
+
+    def test_event_order_within_journey_is_recording_order(self):
+        recorder = FlowSpanRecorder()
+        frame = _Frame(1)
+        for time_ns, kind in [(0, "gen"), (2, "inject"), (7, "enqueue"),
+                              (9, "dequeue"), (12, "tx"), (20, "rx")]:
+            recorder.record(time_ns, kind, "n", frame)
+        [journey] = recorder.journeys()
+        assert [e.time_ns for e in journey.events] == [0, 2, 7, 9, 12, 20]
+
+    def test_cap_counts_dropped_events(self):
+        recorder = FlowSpanRecorder(max_events=3)
+        frame = _Frame(1)
+        for i in range(5):
+            recorder.record(i, "gen", "n", frame)
+        assert len(recorder) == 3
+        assert recorder.dropped_events == 2
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlowSpanRecorder(max_events=0)
+
+    def test_frer_replicas_stay_distinct_journeys(self):
+        # Same (flow, seq), different frames: two member streams.
+        recorder = FlowSpanRecorder()
+        recorder.record(0, "gen", "f", _Frame(1, flow_id=0, seq=0))
+        recorder.record(0, "gen", "f", _Frame(2, flow_id=0, seq=0))
+        assert len(recorder.journeys()) == 2
+
+
+class TestJourney:
+    def test_delivered_and_end_to_end(self):
+        journey = _journey([(5, "gen", "f"), (105, "rx", "listener")])
+        assert journey.delivered and not journey.dropped
+        assert journey.end_to_end_ns == 100
+
+    def test_dropped_journey_names_the_node(self):
+        journey = _journey(
+            [(0, "gen", "f"), (3, "ingress", "sw0"), (3, "drop", "sw0")]
+        )
+        assert journey.dropped and not journey.delivered
+        assert journey.drop_node == "sw0"
+        assert journey.end_to_end_ns is None
+
+    def test_hop_span_reconstruction(self):
+        journey = _journey(
+            [
+                (0, "gen", "flow0"),
+                (1, "inject", "talker0"),
+                (2, "enqueue", "talker0.nic", 7),
+                (3, "dequeue", "talker0.nic", 7),
+                (5, "tx", "talker0.nic", 7),
+                (6, "ingress", "sw0"),
+                (8, "enqueue", "sw0.p1", 6),
+                (70, "dequeue", "sw0.p1", 6),
+                (75, "tx", "sw0.p1", 6),
+                (80, "rx", "listener"),
+            ]
+        )
+        nic, hop = journey.hop_spans()
+        assert nic.node == "talker0.nic" and nic.arrived_ns is None
+        assert nic.gate_wait_ns == 1 and nic.residence_ns == 3
+        assert hop.node == "sw0.p1" and hop.queue_id == 6
+        assert hop.arrived_ns == 6
+        assert hop.gate_wait_ns == 62 and hop.residence_ns == 67
+
+    def test_partial_hop_closed_without_tx(self):
+        journey = _journey(
+            [(0, "enqueue", "sw0.p0", 7), (4, "dequeue", "sw0.p0", 7)]
+        )
+        [span] = journey.hop_spans()
+        assert span.dequeued_ns == 4 and span.tx_ns is None
+        assert span.residence_ns is None
+
+
+class TestFlowStats:
+    def test_interior_sequence_gap_is_loss(self):
+        journeys = [
+            _journey([(0, "gen", "f"), (9, "rx", "l")], seq=s, frame_id=s)
+            for s in (0, 2, 3)
+        ]
+        stats = flow_stats(journeys)
+        assert stats[0].missing_seqs == (1,)
+        assert stats[0].lost == 1
+        assert stats[0].delivered == 3
+
+    def test_expected_counts_extend_the_horizon(self):
+        journeys = [
+            _journey([(0, "gen", "f"), (9, "rx", "l")], seq=0, frame_id=0)
+        ]
+        stats = flow_stats(journeys, expected_by_flow={0: 3})
+        assert stats[0].missing_seqs == (1, 2)
+
+    def test_duplicate_seq_counted_not_double_delivered(self):
+        journeys = [
+            _journey([(0, "gen", "f"), (9, "rx", "l")], seq=0, frame_id=0),
+            _journey([(0, "gen", "f"), (9, "rx", "l")], seq=0, frame_id=1),
+        ]
+        stats = flow_stats(journeys)
+        assert stats[0].delivered == 1
+        assert stats[0].duplicates == 1
+
+    def test_in_flight_neither_lost_nor_delivered(self):
+        journeys = [
+            _journey([(0, "gen", "f"), (2, "enqueue", "n", 7)],
+                     seq=0, frame_id=0)
+        ]
+        stats = flow_stats(journeys)
+        assert stats[0].in_flight == 1 and stats[0].delivered == 0
+
+    def test_latency_watermarks(self):
+        journeys = [
+            _journey([(0, "gen", "f"), (100, "rx", "l")], seq=0, frame_id=0),
+            _journey([(0, "gen", "f"), (300, "rx", "l")], seq=1, frame_id=1),
+        ]
+        stats = flow_stats(journeys)
+        assert stats[0].max_end_to_end_ns == 300
+        assert stats[0].mean_end_to_end_ns == 200.0

@@ -134,6 +134,24 @@ class TestHistogram:
         series = Histogram("h", buckets=(10,)).labels()
         assert series.quantile(0.5) is None
 
+    def test_snapshot_carries_percentiles(self):
+        histogram = Histogram("h", buckets=(10, 100, 1000))
+        series = histogram.labels()
+        for _ in range(99):
+            series.observe(5)
+        series.observe(500)
+        snapshot = histogram.snapshot()["series"][0]
+        assert snapshot["p50"] == 10
+        assert snapshot["p95"] == 10
+        assert snapshot["p99"] == 10
+
+    def test_empty_snapshot_percentiles_are_none(self):
+        histogram = Histogram("h", buckets=(10,))
+        histogram.labels()
+        snapshot = histogram.snapshot()["series"][0]
+        assert snapshot["p50"] is None
+        assert snapshot["p99"] is None
+
     def test_default_buckets_are_log_ns(self):
         histogram = Histogram("h")
         assert histogram.bounds == DEFAULT_LATENCY_BUCKETS_NS

@@ -1,0 +1,165 @@
+"""Ring buffers, the periodic sampler, and Prometheus/CSV export."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    RingBuffer,
+    TimeSeriesSampler,
+    prometheus_exposition,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestRingBuffer:
+    def test_below_capacity_keeps_everything(self):
+        ring = RingBuffer(capacity=4)
+        for i in range(3):
+            ring.append(i)
+        assert ring.items() == [0, 1, 2]
+        assert ring.overwritten == 0
+
+    def test_wraparound_keeps_newest_in_order(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(7):
+            ring.append(i)
+        assert ring.items() == [4, 5, 6]
+        assert ring.overwritten == 4
+        assert ring.latest == 6
+        assert len(ring) == 3
+
+    def test_exactly_full_no_overwrite(self):
+        ring = RingBuffer(capacity=3)
+        for i in range(3):
+            ring.append(i)
+        assert ring.items() == [0, 1, 2] and ring.overwritten == 0
+
+    def test_empty_latest_is_none(self):
+        assert RingBuffer(capacity=1).latest is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingBuffer(capacity=0)
+
+
+class TestSampler:
+    def _setup(self, interval_ns=100, capacity=1024):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, sim, interval_ns=interval_ns,
+                                    capacity=capacity)
+        return sim, registry, sampler
+
+    def test_samples_counter_trajectory(self):
+        sim, registry, sampler = self._setup(interval_ns=100)
+        counter = registry.counter("frames").labels(switch="sw0")
+        sampler.start()
+        sim.schedule(150, lambda: counter.inc(5))
+        sim.run(until=400)
+        ring = sampler.rings[("frames", (("switch", "sw0"),))]
+        assert ring.items() == [(100, 0), (200, 5), (300, 5), (400, 5)]
+
+    def test_gauge_samples_level_not_high_water(self):
+        sim, registry, sampler = self._setup(interval_ns=10)
+        gauge = registry.gauge("depth").labels(q=0)
+        gauge.set(9)
+        gauge.set(2)
+        sampler.start()
+        sim.run(until=10)
+        ring = sampler.rings[("depth", (("q", "0"),))]
+        assert ring.items() == [(10, 2)]
+
+    def test_histogram_samples_observation_count(self):
+        sim, registry, sampler = self._setup(interval_ns=10)
+        histogram = registry.histogram("lat").labels(port=1)
+        histogram.observe(5)
+        histogram.observe(7)
+        sampler.start()
+        sim.run(until=10)
+        ring = sampler.rings[("lat", (("port", "1"),))]
+        assert ring.items() == [(10, 2)]
+
+    def test_ring_capacity_bounds_long_runs(self):
+        sim, registry, sampler = self._setup(interval_ns=10, capacity=5)
+        registry.counter("c").labels()
+        sampler.start()
+        sim.run(until=1000)
+        ring = sampler.rings[("c", ())]
+        assert len(ring) == 5
+        assert ring.overwritten == 95
+        assert [t for t, _ in ring.items()] == [960, 970, 980, 990, 1000]
+
+    def test_series_bound_mid_run_starts_at_next_tick(self):
+        sim, registry, sampler = self._setup(interval_ns=100)
+        sampler.start()
+        sim.schedule(250, lambda: registry.counter("late").labels().inc())
+        sim.run(until=400)
+        ring = sampler.rings[("late", ())]
+        assert [t for t, _ in ring.items()] == [300, 400]
+
+    def test_double_start_rejected(self):
+        _, _, sampler = self._setup()
+        sampler.start()
+        with pytest.raises(ConfigurationError):
+            sampler.start()
+
+    def test_interval_validated(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            TimeSeriesSampler(MetricsRegistry(), sim, interval_ns=0)
+
+    def test_csv_long_format(self):
+        sim, registry, sampler = self._setup(interval_ns=10)
+        registry.counter("frames").labels(switch="sw0", port=1).inc(3)
+        sampler.start()
+        sim.run(until=20)
+        lines = sampler.to_csv().splitlines()
+        assert lines[0] == "time_ns,metric,labels,value"
+        assert lines[1] == '10,frames,"port=1;switch=sw0",3'
+        assert len(lines) == 3
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_total", "frames seen").inc(
+            7, switch="sw0"
+        )
+        registry.gauge("depth").labels(q=3).set(5)
+        text = prometheus_exposition(registry)
+        assert "# HELP frames_total frames seen" in text
+        assert "# TYPE frames_total counter" in text
+        assert 'frames_total{switch="sw0"} 7' in text
+        assert 'depth{q="3"} 5' in text
+        assert 'depth_high_water{q="3"} 5' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(10, 100))
+        histogram.observe(5, port=0)
+        histogram.observe(7, port=0)
+        histogram.observe(50, port=0)
+        histogram.observe(10**6, port=0)
+        text = prometheus_exposition(registry)
+        assert 'lat_bucket{port="0",le="10"} 2' in text
+        assert 'lat_bucket{port="0",le="100"} 3' in text
+        assert 'lat_bucket{port="0",le="+Inf"} 4' in text
+        assert 'lat_sum{port="0"} 1000062' in text
+        assert 'lat_count{port="0"} 4' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, name='say "hi"\nback\\slash')
+        text = prometheus_exposition(registry)
+        assert r'c{name="say \"hi\"\nback\\slash"} 1' in text
+
+    def test_unlabeled_series_renders_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        assert "\nevents 2" in prometheus_exposition(registry)
+
+    def test_float_gauge_keeps_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("ratio").set(0.25)
+        assert "\nratio 0.25" in prometheus_exposition(registry)
