@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-obs bench-full examples lint-rtl outputs clean
+.PHONY: install test bench bench-obs bench-campaign bench-full examples lint-rtl outputs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench: bench-obs
 
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs_overhead.py --output BENCH_obs.json
+
+bench-campaign:
+	$(PYTHON) benchmarks/bench_campaign.py --output BENCH_campaign.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Campaign engine scaling: wall-clock vs worker count, equality vs serial.
+
+Runs the same >= 16-run ring sweep at several worker counts and reports
+wall-clock time per count.  Two acceptance bars:
+
+* **correctness** -- every worker count must produce byte-identical sorted
+  JSONL rows and a byte-identical aggregate vs ``workers=1`` (the campaign
+  determinism contract);
+* **scaling** -- >= 2x speedup at 4 workers over 1 worker on the full
+  grid (near-linear up to the core count, minus pool start-up).
+
+Usage::
+
+    python benchmarks/bench_campaign.py                # full measurement
+    python benchmarks/bench_campaign.py --smoke        # CI: tiny + fast
+    python benchmarks/bench_campaign.py --output BENCH_campaign.json
+
+Standalone by design (argparse + time.perf_counter, no pytest-benchmark)
+so CI can smoke it in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign import Campaign, SweepSpec   # noqa: E402
+
+
+def _sweep_doc(smoke: bool) -> dict:
+    # 16 runs full (4 flow counts x 2 slots x 2 seeds), 4 runs smoke.
+    grid = (
+        {"flows.ts_count": [8, 16], "slot_us": [62.5, 125.0]}
+        if smoke
+        else {"flows.ts_count": [16, 32, 64, 128], "slot_us": [62.5, 125.0]}
+    )
+    return {
+        "name": "bench-campaign",
+        "base": {
+            "name": "ring-point",
+            "topology": {"kind": "ring", "switch_count": 3,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_count": 16, "period_us": 10_000,
+                      "size_bytes": 64, "rc_mbps": 50, "be_mbps": 50},
+            "config": "derive",
+            "slot_us": 62.5,
+            "duration_ms": 8 if smoke else 40,
+            "seed": 0,
+        },
+        "grid": grid,
+        "seeds": 1 if smoke else 2,
+    }
+
+
+def _measure(spec: SweepSpec, workers: int) -> dict:
+    sink = io.StringIO()
+    started = time.perf_counter()
+    summary = Campaign(spec, workers=workers).run(jsonl=sink)
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "rows": sorted(sink.getvalue().splitlines()),
+        "aggregate": json.dumps(summary, sort_keys=True),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid, 2 workers max (CI)")
+    parser.add_argument("--workers", type=int, nargs="*", default=None,
+                        help="worker counts to measure (default: 1 2 4)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON trajectory here")
+    args = parser.parse_args(argv)
+
+    counts = args.workers or ([1, 2] if args.smoke else [1, 2, 4])
+    spec = SweepSpec.from_dict(_sweep_doc(args.smoke))
+    total_runs = len(spec.expand())
+    print(f"# grid: {total_runs} runs, worker counts {counts} "
+          f"(cpus: {os.cpu_count()})")
+
+    results = [_measure(spec, workers) for workers in counts]
+    baseline = results[0]
+    report = {"runs": total_runs, "modes": []}
+    identical = True
+    for result in results:
+        same_rows = result["rows"] == baseline["rows"]
+        same_aggregate = result["aggregate"] == baseline["aggregate"]
+        identical = identical and same_rows and same_aggregate
+        speedup = baseline["elapsed_s"] / result["elapsed_s"]
+        report["modes"].append({
+            "workers": result["workers"],
+            "elapsed_s": round(result["elapsed_s"], 3),
+            "speedup_vs_1": round(speedup, 2),
+            "rows_identical": same_rows,
+            "aggregate_identical": same_aggregate,
+        })
+        print(f"workers={result['workers']:<2d} {result['elapsed_s']:7.2f}s  "
+              f"speedup x{speedup:4.2f}  rows_identical={same_rows}  "
+              f"aggregate_identical={same_aggregate}")
+
+    report["identical_across_workers"] = identical
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"# wrote {args.output}")
+
+    if not identical:
+        print("FAIL: output differs across worker counts", file=sys.stderr)
+        return 1
+    if not args.smoke:
+        four = next((m for m in report["modes"] if m["workers"] == 4), None)
+        if four and four["speedup_vs_1"] < 2.0:
+            # The gate needs cores to scale onto; on a 1-2 core box the
+            # equality checks above are the meaningful part.
+            if (os.cpu_count() or 1) >= 4:
+                print(f"FAIL: speedup at 4 workers is "
+                      f"x{four['speedup_vs_1']}, expected >= 2.0",
+                      file=sys.stderr)
+                return 1
+            print(f"# note: only {os.cpu_count()} cpu(s) available; "
+                  f"scaling gate skipped", file=sys.stderr)
+    print("# campaign scaling bench passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

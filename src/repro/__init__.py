@@ -42,13 +42,16 @@ Quickstart::
     print(result.ts_summary)
 """
 
-from .core.api import CustomizationAPI
+from .campaign import Campaign, SweepSpec
+from .core.api import CustomizationAPI, SwitchBuilder
 from .core.bram import allocate as allocate_bram
 from .core.config import EntryWidths, SwitchConfig
 from .core.errors import (
     CapacityError,
     ConfigurationError,
+    IncompleteCustomizationError,
     SchedulingError,
+    SpecValidationError,
     SimulationError,
     SynthesisError,
     TopologyError,
@@ -86,11 +89,16 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CustomizationAPI",
+    "SwitchBuilder",
+    "Campaign",
+    "SweepSpec",
     "SwitchConfig",
     "EntryWidths",
     "ResourceReport",
     "TsnBuilderError",
     "ConfigurationError",
+    "IncompleteCustomizationError",
+    "SpecValidationError",
     "CapacityError",
     "SchedulingError",
     "SimulationError",

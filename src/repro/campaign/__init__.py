@@ -1,0 +1,32 @@
+"""Parallel campaign engine: declarative sweeps over scenario space.
+
+The paper's headline result (-80.53 % BRAM at equal QoS) comes from
+*exploring* customization parameters per topology.  This package turns that
+exploration into a first-class workload:
+
+* :class:`~repro.campaign.spec.SweepSpec` expands a grid/list document
+  (over flow counts, queue depths, table sizes, topologies, seeds) into
+  concrete :class:`~repro.network.scenario.ScenarioSpec` runs with
+  deterministic per-run seed derivation;
+* :class:`~repro.campaign.runner.Campaign` executes the runs across a
+  ``ProcessPoolExecutor`` with per-run timeouts and bounded retries,
+  streaming each finished row to JSONL;
+* :mod:`~repro.campaign.pareto` aggregates the rows into a summary with a
+  BRAM-vs-QoS Pareto frontier.
+
+CLI: ``python -m repro sweep <spec.json> --workers N --timeout S
+--retries K --out DIR``.  See ``docs/campaigns.md``.
+"""
+
+from .pareto import aggregate_rows, pareto_frontier
+from .runner import Campaign
+from .spec import PlannedRun, SweepSpec, derive_seed
+
+__all__ = [
+    "Campaign",
+    "SweepSpec",
+    "PlannedRun",
+    "derive_seed",
+    "aggregate_rows",
+    "pareto_frontier",
+]

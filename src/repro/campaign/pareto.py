@@ -1,0 +1,102 @@
+"""Aggregating campaign rows: counts, extremes, BRAM-vs-QoS Pareto frontier.
+
+The frontier answers the paper's core question at sweep scale: of all the
+customizations that still meet QoS (zero TS loss, SLO verdicts passing),
+which are not dominated in both BRAM cost and worst-case latency?  Every
+function here is a pure transformation of the (sorted) row list, so the
+aggregate is byte-identical however the rows were produced -- one worker or
+many, any completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["pareto_frontier", "aggregate_rows"]
+
+
+def _qos_metric(row: Dict[str, Any]) -> Optional[float]:
+    """Worst-case TS latency (p99), the QoS axis of the frontier."""
+    ts = row.get("classes", {}).get("TS", {})
+    p99 = ts.get("p99_ns")
+    return float(p99) if p99 is not None else None
+
+
+def _frontier_point(row: Dict[str, Any]) -> Dict[str, Any]:
+    ts = row["classes"]["TS"]
+    return {
+        "run_id": row["run_id"],
+        "params": row["params"],
+        "seed": row["seed"],
+        "bram_kb": row["bram_kb"],
+        "ts_p99_ns": ts["p99_ns"],
+        "ts_max_ns": ts["max_ns"],
+        "ts_loss": ts["loss"],
+    }
+
+
+def pareto_frontier(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Non-dominated (bram_kb, ts_p99_ns) points among QoS-meeting ok rows.
+
+    Both axes are minimized.  A point survives unless some other point is
+    no worse on both axes and strictly better on at least one.  The result
+    is sorted by ascending BRAM (ties by latency, then run id) and strictly
+    decreasing in latency.
+    """
+    feasible = [
+        row for row in rows
+        if row.get("status") == "ok"
+        and row.get("qos_ok")
+        and _qos_metric(row) is not None
+    ]
+    feasible.sort(
+        key=lambda r: (r["bram_kb"], _qos_metric(r), r["run_id"])
+    )
+    frontier: List[Dict[str, Any]] = []
+    best_latency = float("inf")
+    for row in feasible:
+        latency = _qos_metric(row)
+        if latency < best_latency:
+            frontier.append(_frontier_point(row))
+            best_latency = latency
+    return frontier
+
+
+def aggregate_rows(
+    name: str, rows: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """One deterministic summary document for a finished campaign.
+
+    *rows* may arrive in any completion order; they are re-sorted by run
+    index before anything is derived from them.
+    """
+    ordered = sorted(rows, key=lambda r: r["index"])
+    by_status: Dict[str, int] = {}
+    for row in ordered:
+        by_status[row["status"]] = by_status.get(row["status"], 0) + 1
+    ok_rows = [r for r in ordered if r["status"] == "ok"]
+    frontier = pareto_frontier(ordered)
+    summary: Dict[str, Any] = {
+        "campaign": name,
+        "runs": len(ordered),
+        "status": by_status,
+        "qos_ok": sum(1 for r in ok_rows if r.get("qos_ok")),
+        "pareto": frontier,
+        "best": frontier[0] if frontier else None,
+        "failures": [
+            {"run_id": r["run_id"], "status": r["status"],
+             "error": r.get("error")}
+            for r in ordered if r["status"] != "ok"
+        ],
+    }
+    if ok_rows:
+        brams = [r["bram_kb"] for r in ok_rows]
+        summary["bram_kb"] = {"min": min(brams), "max": max(brams)}
+        latencies = [
+            _qos_metric(r) for r in ok_rows if _qos_metric(r) is not None
+        ]
+        if latencies:
+            summary["ts_p99_ns"] = {
+                "min": min(latencies), "max": max(latencies),
+            }
+    return summary

@@ -1,0 +1,173 @@
+"""Executing a campaign: process pool, timeouts, retries, JSONL streaming.
+
+:class:`Campaign` is the programmatic face of ``repro sweep``.  It expands
+a :class:`~repro.campaign.spec.SweepSpec`, farms the runs out to a
+``ProcessPoolExecutor`` (or runs them inline for ``workers=1``), retries
+failed/timed-out runs up to a bound, and streams every finished row to a
+JSONL sink the moment it completes -- a crashed campaign leaves all its
+finished work on disk.
+
+Determinism contract: row *content* is a pure function of the sweep
+document (seeds are derived, wall-clock never enters a row), so any worker
+count produces the same row set; only JSONL file order varies with
+completion order.  The aggregate re-sorts by run index first and is
+therefore byte-identical across worker counts -- the property
+``benchmarks/bench_campaign.py`` asserts while measuring scaling.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Callable, Dict, IO, List, Optional, Union
+
+from .pareto import aggregate_rows
+from .spec import PlannedRun, SweepSpec
+from .worker import execute_run
+
+__all__ = ["Campaign"]
+
+Progress = Callable[[Dict[str, Any], int, int], None]
+
+
+class Campaign:
+    """Execute every run of a sweep and aggregate the results.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to execute.
+    workers:
+        Process count.  ``1`` runs inline in this process (no pool, no
+        pickling) -- the reference execution the parallel path must match.
+    timeout_s:
+        Per-run wall-clock budget, enforced inside the worker via
+        ``SIGALRM`` (ignored on platforms/threads without it).
+    retries:
+        How many times a non-``ok`` run is re-executed before its last row
+        is accepted.  Deterministic failures fail identically every
+        attempt; the bound exists for runs killed by environmental noise
+        (timeouts on a loaded box).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.spec = spec
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    # ------------------------------------------------------------- running
+
+    def plan(self, strict: bool = True) -> List[PlannedRun]:
+        return self.spec.expand(strict=strict)
+
+    def run(
+        self,
+        jsonl: Union[None, str, Path, IO[str]] = None,
+        progress: Optional[Progress] = None,
+        strict: bool = True,
+    ) -> Dict[str, Any]:
+        """Execute all runs; returns the aggregate summary document.
+
+        *jsonl* (path or open text handle) receives one row per finished
+        run, written and flushed in completion order.  *progress* is called
+        with ``(row, finished_count, total)`` after each run.  The full row
+        list is available afterwards as :attr:`rows`.
+        """
+        runs = self.plan(strict=strict)
+        payloads = [run.as_payload() for run in runs]
+        for payload in payloads:
+            payload["timeout_s"] = self.timeout_s
+
+        sink: Optional[IO[str]] = None
+        owns_sink = False
+        if jsonl is not None:
+            if hasattr(jsonl, "write"):
+                sink = jsonl  # type: ignore[assignment]
+            else:
+                path = Path(jsonl)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                sink = path.open("w")
+                owns_sink = True
+
+        rows: List[Dict[str, Any]] = []
+
+        def finish(row: Dict[str, Any]) -> None:
+            rows.append(row)
+            if sink is not None:
+                sink.write(json.dumps(row, sort_keys=True) + "\n")
+                sink.flush()
+            if progress is not None:
+                progress(row, len(rows), len(runs))
+
+        try:
+            if self.workers == 1:
+                self._run_inline(payloads, finish)
+            else:
+                self._run_pool(payloads, finish)
+        finally:
+            if owns_sink and sink is not None:
+                sink.close()
+
+        self.rows = rows
+        return aggregate_rows(self.spec.name, rows)
+
+    # ------------------------------------------------------------ backends
+
+    def _attempts(self, payload: Dict[str, Any]) -> int:
+        return self.retries + 1
+
+    def _run_inline(
+        self, payloads: List[Dict[str, Any]], finish: Callable
+    ) -> None:
+        for payload in payloads:
+            row: Dict[str, Any] = {}
+            for attempt in range(1, self._attempts(payload) + 1):
+                row = execute_run(payload)
+                row["attempts"] = attempt
+                if row["status"] == "ok":
+                    break
+            finish(row)
+
+    def _run_pool(
+        self, payloads: List[Dict[str, Any]], finish: Callable
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {}
+            for payload in payloads:
+                future = pool.submit(execute_run, payload)
+                pending[future] = (payload, 1)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    payload, attempt = pending.pop(future)
+                    try:
+                        row = future.result()
+                    except Exception as exc:  # worker process died
+                        row = {
+                            "run_id": payload["run_id"],
+                            "index": payload["index"],
+                            "replicate": payload["replicate"],
+                            "seed": payload["seed"],
+                            "params": payload["overrides"],
+                            "status": "error",
+                            "error": f"worker crashed: {exc}",
+                            "error_type": type(exc).__name__,
+                        }
+                    if row["status"] != "ok" and attempt <= self.retries:
+                        retry = pool.submit(execute_run, payload)
+                        pending[retry] = (payload, attempt + 1)
+                        continue
+                    row["attempts"] = attempt
+                    finish(row)

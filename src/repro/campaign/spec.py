@@ -1,0 +1,254 @@
+"""Sweep specifications: one document describing many scenarios.
+
+A sweep document holds a ``base`` scenario plus a ``grid`` of dotted-path
+overrides and/or an explicit ``list`` of override objects::
+
+    {
+      "name": "star-depth-sweep",
+      "base": { ...any ScenarioSpec document, "name" optional... },
+      "grid": {
+        "flows.ts_count": [64, 256, 1024],
+        "config.queue_depth": [8, 12, 16]
+      },
+      "list": [ {"topology.kind": "linear"} ],
+      "seeds": 2
+    }
+
+``grid`` expands as a cross product (9 points above); ``list`` appends
+hand-picked points; ``seeds`` replicates every point with a distinct,
+deterministically derived seed.  Expansion is pure and ordered: the same
+document always yields the same :class:`PlannedRun` sequence, so run ids,
+derived seeds and aggregates are reproducible regardless of how (or where)
+the runs later execute.
+
+Paths are dotted keys into the scenario document (``slot_us``,
+``flows.ts_count``, ``config.queue_depth``, ``topology.kind``, ...).  An
+override whose path descends into ``config`` requires ``base.config`` to be
+an explicit object -- sweeping a parameter of a *derived* configuration is
+ambiguous, and the error says so.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.errors import ConfigurationError, SpecValidationError
+from repro.network.scenario import validate_scenario_dict
+
+__all__ = ["SweepSpec", "PlannedRun", "derive_seed", "set_path"]
+
+_KNOWN_SWEEP_KEYS = frozenset({"name", "base", "grid", "list", "seeds"})
+
+
+def derive_seed(campaign: str, base_seed: int, signature: str) -> int:
+    """A deterministic 63-bit seed for one run of one campaign.
+
+    Mixing the campaign name, the base scenario seed and the run's override
+    signature through SHA-256 gives every grid point (and every replicate)
+    an independent stream while keeping the whole campaign a pure function
+    of its document -- rerunning with any worker count reproduces the exact
+    same per-run seeds.
+    """
+    digest = hashlib.sha256(
+        f"{campaign}|{base_seed}|{signature}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def set_path(tree: Dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted-path override inside a (nested) scenario dict."""
+    keys = path.split(".")
+    node = tree
+    for i, key in enumerate(keys[:-1]):
+        child = node.get(key)
+        if child is None:
+            child = node[key] = {}
+        elif not isinstance(child, dict):
+            prefix = ".".join(keys[: i + 1])
+            hint = (
+                "; sweeping a derived config is ambiguous -- give base.config "
+                "as an explicit object"
+                if prefix == "config" and child == "derive"
+                else ""
+            )
+            raise ConfigurationError(
+                f"grid path {path!r}: {prefix!r} is {child!r}, not an "
+                f"object{hint}"
+            )
+        node = child
+    node[keys[-1]] = value
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One fully expanded scenario, ready to execute."""
+
+    index: int
+    run_id: str
+    overrides: Dict[str, Any]
+    replicate: int
+    seed: int
+    scenario: Dict[str, Any]
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The picklable unit of work shipped to a worker process."""
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "overrides": self.overrides,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "scenario": self.scenario,
+        }
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep over scenario space."""
+
+    name: str
+    base: Dict[str, Any]
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    seeds: int = 1
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], strict: bool = True
+    ) -> "SweepSpec":
+        if not isinstance(data, Mapping):
+            raise SpecValidationError(
+                "sweep", [f"$: expected an object, got {type(data).__name__}"]
+            )
+        problems: List[str] = []
+        for key in sorted(set(data) - _KNOWN_SWEEP_KEYS):
+            problems.append(f"{key}: unknown sweep key")
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append("name: required non-empty string")
+        base = data.get("base")
+        if not isinstance(base, Mapping):
+            problems.append("base: required object (a scenario document)")
+            base = {}
+        grid = data.get("grid", {})
+        if not isinstance(grid, Mapping):
+            problems.append("grid: expected an object of path -> value list")
+            grid = {}
+        else:
+            for path, values in grid.items():
+                if not isinstance(values, Sequence) or isinstance(
+                    values, (str, bytes)
+                ) or not values:
+                    problems.append(
+                        f"grid.{path}: expected a non-empty list of values"
+                    )
+        points = data.get("list", [])
+        if not isinstance(points, Sequence) or isinstance(points, (str, bytes)):
+            problems.append("list: expected a list of override objects")
+            points = []
+        else:
+            for i, point in enumerate(points):
+                if not isinstance(point, Mapping):
+                    problems.append(f"list[{i}]: expected an override object")
+        seeds = data.get("seeds", 1)
+        if not isinstance(seeds, int) or isinstance(seeds, bool) or seeds < 1:
+            problems.append(f"seeds: expected a positive integer, got {seeds!r}")
+            seeds = 1
+        if problems and strict:
+            raise SpecValidationError(f"sweep {data.get('name', '?')!r}", problems)
+        return cls(
+            name=name if isinstance(name, str) else "sweep",
+            base=dict(base),
+            grid={k: list(v) for k, v in grid.items()
+                  if isinstance(v, Sequence) and not isinstance(v, (str, bytes))},
+            points=[dict(p) for p in points if isinstance(p, Mapping)],
+            seeds=seeds,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, strict: bool = True) -> "SweepSpec":
+        return cls.from_dict(json.loads(text), strict=strict)
+
+    @classmethod
+    def from_file(
+        cls, path: Union[str, Path], strict: bool = True
+    ) -> "SweepSpec":
+        return cls.from_json(Path(path).read_text(), strict=strict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name, "base": self.base}
+        if self.grid:
+            data["grid"] = self.grid
+        if self.points:
+            data["list"] = self.points
+        if self.seeds != 1:
+            data["seeds"] = self.seeds
+        return data
+
+    # ----------------------------------------------------------- expansion
+
+    def override_sets(self) -> List[Dict[str, Any]]:
+        """Grid cross product (insertion-ordered) plus the explicit list."""
+        combos: List[Dict[str, Any]] = []
+        if self.grid:
+            paths = list(self.grid)
+            for values in itertools.product(*(self.grid[p] for p in paths)):
+                combos.append(dict(zip(paths, values)))
+        elif not self.points:
+            combos.append({})  # a bare base is a 1-point sweep
+        combos.extend(dict(point) for point in self.points)
+        return combos
+
+    def expand(self, strict: bool = True) -> List[PlannedRun]:
+        """Expand into concrete runs; validates every materialized scenario.
+
+        With *strict*, each expanded scenario document is checked via
+        :func:`~repro.network.scenario.validate_scenario_dict` and all
+        problems across all runs raise as one
+        :class:`~repro.core.errors.SpecValidationError`.
+        """
+        runs: List[PlannedRun] = []
+        problems: List[str] = []
+        base_seed = self.base.get("seed", 0)
+        base_name = self.base.get("name", self.name)
+        index = 0
+        for overrides in self.override_sets():
+            signature = json.dumps(overrides, sort_keys=True)
+            for replicate in range(self.seeds):
+                scenario = json.loads(json.dumps(self.base))  # deep copy
+                scenario.setdefault("name", base_name)
+                for path, value in overrides.items():
+                    set_path(scenario, path, value)
+                run_id = f"{self.name}:{index:04d}"
+                scenario["name"] = f"{base_name}#{index:04d}"
+                if "seed" in overrides:
+                    seed = overrides["seed"]
+                else:
+                    seed = derive_seed(
+                        self.name, base_seed, f"{signature}|rep={replicate}"
+                    )
+                scenario["seed"] = seed
+                if strict:
+                    for problem in validate_scenario_dict(scenario):
+                        problems.append(f"run {run_id}: {problem}")
+                runs.append(
+                    PlannedRun(
+                        index=index,
+                        run_id=run_id,
+                        overrides=dict(overrides),
+                        replicate=replicate,
+                        seed=seed,
+                        scenario=scenario,
+                    )
+                )
+                index += 1
+        if problems:
+            raise SpecValidationError(f"sweep {self.name!r}", problems)
+        return runs

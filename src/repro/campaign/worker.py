@@ -1,0 +1,121 @@
+"""The per-run unit of work executed inside a worker process.
+
+:func:`execute_run` must stay a module-level function with a picklable
+payload/return so ``ProcessPoolExecutor`` can ship it under any start
+method.  It never raises: every failure mode -- scenario error, simulation
+blow-up, per-run timeout -- comes back as a row with a ``status`` field, so
+the parent's retry/streaming logic needs no exception plumbing.
+
+Rows contain only deterministic content (no wall-clock timestamps): the
+acceptance bar for the campaign engine is byte-identical rows and
+aggregates regardless of worker count, and elapsed times would break that.
+Timing lives in the runner's progress output and the benchmark instead.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Dict
+
+from repro.core.errors import TsnBuilderError
+
+__all__ = ["execute_run", "RunTimeout"]
+
+
+class RunTimeout(Exception):
+    """A single run exceeded its wall-clock budget."""
+
+
+def _alarm_supported() -> bool:
+    # SIGALRM only exists on POSIX and only fires in the main thread.
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _raise_timeout(signum, frame):  # pragma: no cover - trivial
+    raise RunTimeout()
+
+
+def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one expanded scenario and digest the result into a JSONL row."""
+    from repro.network.scenario import ScenarioSpec
+
+    row: Dict[str, Any] = {
+        "run_id": payload["run_id"],
+        "index": payload["index"],
+        "replicate": payload["replicate"],
+        "seed": payload["seed"],
+        "params": payload["overrides"],
+    }
+    timeout_s = payload.get("timeout_s")
+    use_alarm = bool(timeout_s) and _alarm_supported()
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        # Expansion already validated the document; strict would only
+        # re-check it in every worker.
+        spec = ScenarioSpec.from_dict(payload["scenario"], strict=False)
+        testbed = spec.build_testbed()
+        bram_kb = testbed.base_config.total_bram_kb
+        result = testbed.run(duration_ns=spec.duration_ns)
+        row.update(_measurements(result, bram_kb))
+        row["status"] = "ok"
+    except RunTimeout:
+        row["status"] = "timeout"
+        row["error"] = f"run exceeded {timeout_s:g}s"
+    except TsnBuilderError as exc:
+        row["status"] = "error"
+        row["error"] = str(exc)
+        row["error_type"] = type(exc).__name__
+    except Exception as exc:  # simulation bugs must not kill the campaign
+        row["status"] = "error"
+        row["error"] = f"{type(exc).__name__}: {exc}"
+        row["error_type"] = type(exc).__name__
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return row
+
+
+def _measurements(result, bram_kb: float) -> Dict[str, Any]:
+    from repro.traffic.flows import TrafficClass
+
+    classes: Dict[str, Dict[str, Any]] = {}
+    for traffic_class in TrafficClass:
+        received = result.analyzer.received(traffic_class)
+        entry: Dict[str, Any] = {
+            "received": received,
+            "loss": result.loss_rate(traffic_class),
+        }
+        if received:
+            stats = result.summary(traffic_class)
+            entry.update(
+                mean_ns=stats.mean_ns,
+                jitter_ns=stats.jitter_ns,
+                max_ns=stats.max_ns,
+                p99_ns=stats.p99_ns,
+            )
+        classes[traffic_class.name] = entry
+    ts = classes.get("TS", {})
+    slo = result.slo
+    qos_ok = ts.get("loss") == 0.0 and bool(ts.get("received"))
+    if slo is not None and slo.monitored:
+        qos_ok = qos_ok and slo.passed
+    measurements: Dict[str, Any] = {
+        "bram_kb": bram_kb,
+        "classes": classes,
+        "max_queue_high_water": result.max_queue_high_water(),
+        "max_buffer_high_water": result.max_buffer_high_water(),
+        "qos_ok": qos_ok,
+    }
+    if slo is not None:
+        measurements["slo"] = {
+            "passed": slo.passed,
+            "monitored_flows": slo.monitored,
+        }
+    return measurements

@@ -27,6 +27,11 @@ Five commands wrap the library's main workflows:
     every flow-definition deadline) and print per-flow pass/fail verdicts.
     Exit code 0 = all monitored flows pass, 1 = violations, 2 = nothing
     monitored.
+``sweep``
+    Expand a declarative sweep document (see
+    :class:`repro.campaign.SweepSpec`) into concrete scenarios and run
+    them across a process pool, streaming per-run JSONL rows and writing
+    an aggregate summary with a BRAM-vs-QoS Pareto frontier.
 """
 
 from __future__ import annotations
@@ -168,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--drops", action="store_true",
                           help="print the per-switch drops-by-reason and "
                                "per-port occupancy tables to stderr")
+    simulate.add_argument("--no-strict", action="store_true",
+                          help="skip strict scenario validation (unknown "
+                               "keys pass through to the testbed)")
 
     metrics = commands.add_parser(
         "metrics",
@@ -190,6 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the report as JSON instead of tables")
     slo.add_argument("--violations", type=int, default=20,
                      help="individual violations to list (default: 20)")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a declarative scenario sweep across a process pool",
+    )
+    sweep.add_argument("spec", type=Path,
+                       help="sweep document: base scenario + grid/list "
+                            "overrides (+ seeds)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = run inline; default: 1)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-run wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="re-execute a failed/timed-out run up to this "
+                            "many times (default: 0)")
+    sweep.add_argument("--out", type=Path, default=Path("sweep_out"),
+                       help="output directory for runs.jsonl + summary.json "
+                            "(default: sweep_out)")
+    sweep.add_argument("--list", action="store_true", dest="list_runs",
+                       help="print the expanded run table and exit "
+                            "(no execution)")
+    sweep.add_argument("--no-strict", action="store_true",
+                       help="skip strict document validation (unknown keys "
+                            "pass through)")
 
     return parser
 
@@ -287,7 +319,7 @@ def _cmd_emit_rtl(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    spec = ScenarioSpec.from_file(args.scenario)
+    spec = ScenarioSpec.from_file(args.scenario, strict=not args.no_strict)
     if args.check:
         from repro.core.validation import Severity, check_deployment
 
@@ -429,6 +461,50 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign, SweepSpec
+
+    strict = not args.no_strict
+    spec = SweepSpec.from_file(args.spec, strict=strict)
+    campaign = Campaign(
+        spec,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    runs = campaign.plan(strict=strict)
+    if args.list_runs:
+        for run in runs:
+            params = json.dumps(run.overrides, sort_keys=True)
+            print(f"{run.run_id}  seed={run.seed}  {params}")
+        print(f"# {len(runs)} run(s)", file=sys.stderr)
+        return 0
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    jsonl_path = args.out / "runs.jsonl"
+    summary_path = args.out / "summary.json"
+
+    def progress(row, finished, total):
+        status = row["status"]
+        note = "" if status == "ok" else f" ({row.get('error', status)})"
+        print(f"# [{finished}/{total}] {row['run_id']} {status}{note}",
+              file=sys.stderr)
+
+    summary = campaign.run(jsonl=jsonl_path, progress=progress,
+                           strict=strict)
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"# rows: {jsonl_path}", file=sys.stderr)
+    print(f"# summary: {summary_path}", file=sys.stderr)
+    failed = summary["runs"] - summary["status"].get("ok", 0)
+    if failed:
+        print(f"# {failed} run(s) did not finish ok", file=sys.stderr)
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "report": _cmd_report,
     "size": _cmd_size,
@@ -436,6 +512,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,
+    "sweep": _cmd_sweep,
 }
 
 

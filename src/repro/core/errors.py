@@ -23,6 +23,41 @@ class ConfigurationError(TsnBuilderError):
     """
 
 
+class IncompleteCustomizationError(ConfigurationError):
+    """``build()`` was called before every mandatory resource was specified.
+
+    Carries the full set of missing Table II calls in :attr:`missing_calls`
+    so tooling (and the fluent :class:`~repro.core.api.SwitchBuilder`) can
+    report every omission at once instead of one per attempt.
+    """
+
+    def __init__(self, name: str, missing_calls):
+        self.switch_name = name
+        self.missing_calls = frozenset(missing_calls)
+        calls = ", ".join(sorted(self.missing_calls))
+        super().__init__(
+            f"{name}: incomplete customization, missing {len(self.missing_calls)} "
+            f"call(s): {calls}"
+        )
+
+
+class SpecValidationError(ConfigurationError):
+    """A declarative document (scenario / sweep) failed strict validation.
+
+    Collects *every* offending path into :attr:`problems` -- a list of
+    human-readable ``"path: message"`` strings -- and raises once, so a
+    hand-written JSON file surfaces all its typos in a single round trip.
+    """
+
+    def __init__(self, what: str, problems):
+        self.problems = list(problems)
+        details = "\n".join(f"  - {p}" for p in self.problems)
+        super().__init__(
+            f"{what} failed validation with {len(self.problems)} problem(s):\n"
+            f"{details}"
+        )
+
+
 class CapacityError(TsnBuilderError):
     """A fixed-capacity hardware structure was asked to exceed its size.
 

@@ -28,13 +28,15 @@ declared flows; an object instead is interpreted as explicit
 
 from __future__ import annotations
 
+import difflib
+import inspect
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.core.config import SwitchConfig
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SpecValidationError
 from repro.core.sizing import derive_config
 from repro.core.units import mbps, us
 from repro.obs.flowspans import FlowSpanRecorder
@@ -53,7 +55,7 @@ from .topology import (
     star_topology,
 )
 
-__all__ = ["ScenarioSpec"]
+__all__ = ["ScenarioSpec", "validate_scenario_dict", "known_extra_keys"]
 
 _TOPOLOGY_BUILDERS = {
     "ring": ring_topology,
@@ -61,6 +63,153 @@ _TOPOLOGY_BUILDERS = {
     "star": star_topology,
     "dual_path": dual_path_topology,
 }
+
+#: Top-level scenario keys mapped onto ScenarioSpec fields directly.
+_KNOWN_TOP_KEYS = frozenset({
+    "name", "topology", "flows", "config", "slot_us", "duration_ms",
+    "seed", "gate_mechanism", "use_itp", "injection_phase", "slo",
+})
+
+#: Flow-stanza keys consumed by :meth:`ScenarioSpec.build_flows`.
+_KNOWN_FLOW_KEYS = frozenset(
+    {"ts_count", "period_us", "size_bytes", "rc_mbps", "be_mbps"}
+)
+
+#: Testbed kwargs the spec explicitly threads; everything else in the
+#: Testbed signature is a legal pass-through "extra".
+_EXPLICIT_TESTBED_KWARGS = frozenset({
+    "self", "topology", "config", "flows", "slot_ns", "seed", "use_itp",
+    "gate_mechanism", "injection_phase", "tracer", "metrics", "profiler",
+    "spans", "slo_policy",
+})
+
+
+def known_extra_keys() -> frozenset:
+    """Extra scenario keys accepted because ``Testbed.__init__`` takes them.
+
+    Derived from the live signature so a new Testbed knob is automatically
+    a legal scenario extra without touching the validator.
+    """
+    params = inspect.signature(Testbed.__init__).parameters
+    return frozenset(params) - _EXPLICIT_TESTBED_KWARGS
+
+
+def _suggest(key: str, candidates) -> str:
+    matches = difflib.get_close_matches(key, sorted(candidates), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def _check_type(problems: List[str], path: str, value: Any, kinds,
+                label: str) -> None:
+    # bool is an int subclass; reject it wherever a number is expected.
+    if isinstance(value, bool) and bool not in (
+        kinds if isinstance(kinds, tuple) else (kinds,)
+    ):
+        problems.append(f"{path}: expected {label}, got bool {value!r}")
+    elif not isinstance(value, kinds):
+        problems.append(
+            f"{path}: expected {label}, got {type(value).__name__} {value!r}"
+        )
+
+
+def validate_scenario_dict(data: Mapping[str, Any]) -> List[str]:
+    """Every problem a scenario document has, as ``"path: message"`` strings.
+
+    Checks unknown keys (with nearest-key suggestions) and value types at
+    the top level, inside ``topology`` (against the selected builder's
+    signature), inside ``flows``, and inside an explicit ``config`` object.
+    Returns an empty list for a valid document; never raises.
+    """
+    problems: List[str] = []
+    if not isinstance(data, Mapping):
+        return [f"$: expected an object, got {type(data).__name__}"]
+    extras_allowed = known_extra_keys()
+    known_top = _KNOWN_TOP_KEYS | extras_allowed
+    for key in sorted(set(data) - known_top):
+        problems.append(
+            f"{key}: unknown scenario key{_suggest(key, known_top)}"
+        )
+    for key in ("name", "topology", "flows"):
+        if key not in data:
+            problems.append(f"{key}: required key is missing")
+
+    if "name" in data:
+        _check_type(problems, "name", data["name"], str, "a string")
+    for key in ("slot_us", "duration_ms"):
+        if key in data:
+            _check_type(problems, key, data[key], (int, float), "a number")
+    if "seed" in data:
+        _check_type(problems, "seed", data["seed"], int, "an integer")
+    if "use_itp" in data:
+        _check_type(problems, "use_itp", data["use_itp"], bool, "a boolean")
+    if "gate_mechanism" in data and data["gate_mechanism"] not in ("cqf", "qbv"):
+        problems.append(
+            f"gate_mechanism: expected 'cqf' or 'qbv', "
+            f"got {data['gate_mechanism']!r}"
+        )
+    if "injection_phase" in data and data["injection_phase"] not in (
+        "planned", "uniform"
+    ):
+        problems.append(
+            f"injection_phase: expected 'planned' or 'uniform', "
+            f"got {data['injection_phase']!r}"
+        )
+    if "slo" in data and data["slo"] is not None:
+        _check_type(problems, "slo", data["slo"], Mapping, "an object")
+
+    topology = data.get("topology")
+    if topology is not None:
+        if not isinstance(topology, Mapping):
+            _check_type(problems, "topology", topology, Mapping, "an object")
+        else:
+            kind = topology.get("kind")
+            if kind not in _TOPOLOGY_BUILDERS:
+                problems.append(
+                    f"topology.kind: expected one of "
+                    f"{sorted(_TOPOLOGY_BUILDERS)}, got {kind!r}"
+                )
+            else:
+                builder_params = set(
+                    inspect.signature(_TOPOLOGY_BUILDERS[kind]).parameters
+                )
+                for key in sorted(set(topology) - builder_params - {"kind"}):
+                    problems.append(
+                        f"topology.{key}: unknown parameter for "
+                        f"{kind!r} topology{_suggest(key, builder_params)}"
+                    )
+
+    flows = data.get("flows")
+    if flows is not None:
+        if not isinstance(flows, Mapping):
+            _check_type(problems, "flows", flows, Mapping, "an object")
+        else:
+            for key in sorted(set(flows) - _KNOWN_FLOW_KEYS):
+                problems.append(
+                    f"flows.{key}: unknown flow parameter"
+                    f"{_suggest(key, _KNOWN_FLOW_KEYS)}"
+                )
+            for key in ("ts_count", "size_bytes"):
+                if key in flows:
+                    _check_type(problems, f"flows.{key}", flows[key], int,
+                                "an integer")
+            for key in ("period_us", "rc_mbps", "be_mbps"):
+                if key in flows:
+                    _check_type(problems, f"flows.{key}", flows[key],
+                                (int, float), "a number")
+
+    config = data.get("config", "derive")
+    if isinstance(config, Mapping):
+        known_config = set(SwitchConfig.__dataclass_fields__)
+        for key in sorted(set(config) - known_config):
+            problems.append(
+                f"config.{key}: unknown SwitchConfig field"
+                f"{_suggest(key, known_config)}"
+            )
+    elif config != "derive":
+        problems.append(
+            f"config: expected 'derive' or an object, got {config!r}"
+        )
+    return problems
 
 
 @dataclass
@@ -84,13 +233,31 @@ class ScenarioSpec:
     # ------------------------------------------------------------- parsing
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+    def from_dict(
+        cls, data: Mapping[str, Any], strict: bool = True
+    ) -> "ScenarioSpec":
+        """Parse a scenario document.
+
+        With ``strict`` (the default) the document is validated first:
+        unknown keys and wrong-typed values raise one
+        :class:`~repro.core.errors.SpecValidationError` listing every
+        offending path (with a nearest-key suggestion where one exists).
+        ``strict=False`` restores the historical permissive behaviour --
+        unknown keys land in :attr:`extras` and fail only if the Testbed
+        rejects them at build time.
+        """
+        if strict:
+            problems = validate_scenario_dict(data)
+            if problems:
+                raise SpecValidationError(
+                    f"scenario {data.get('name', '?')!r}"
+                    if isinstance(data, Mapping) else "scenario",
+                    problems,
+                )
         payload = dict(data)
-        known = {
-            "name", "topology", "flows", "config", "slot_us", "duration_ms",
-            "seed", "gate_mechanism", "use_itp", "injection_phase", "slo",
+        extras = {
+            k: payload.pop(k) for k in list(payload) if k not in _KNOWN_TOP_KEYS
         }
-        extras = {k: payload.pop(k) for k in list(payload) if k not in known}
         missing = {"name", "topology", "flows"} - set(payload)
         if missing:
             raise ConfigurationError(
@@ -99,12 +266,14 @@ class ScenarioSpec:
         return cls(extras=extras, **payload)
 
     @classmethod
-    def from_json(cls, text: str) -> "ScenarioSpec":
-        return cls.from_dict(json.loads(text))
+    def from_json(cls, text: str, strict: bool = True) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text), strict=strict)
 
     @classmethod
-    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
-        return cls.from_json(Path(path).read_text())
+    def from_file(
+        cls, path: Union[str, Path], strict: bool = True
+    ) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text(), strict=strict)
 
     def to_dict(self) -> Dict[str, Any]:
         data = {

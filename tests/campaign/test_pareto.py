@@ -1,0 +1,91 @@
+"""Pareto frontier and aggregate determinism."""
+
+import json
+import random
+
+from repro.campaign.pareto import aggregate_rows, pareto_frontier
+
+
+def _row(index, bram, p99, qos_ok=True, status="ok", loss=0.0):
+    return {
+        "run_id": f"c:{index:04d}",
+        "index": index,
+        "replicate": 0,
+        "seed": index,
+        "params": {"i": index},
+        "status": status,
+        "attempts": 1,
+        "bram_kb": bram,
+        "qos_ok": qos_ok,
+        "classes": {"TS": {"received": 10, "loss": loss,
+                           "p99_ns": p99, "max_ns": p99}},
+        "max_queue_high_water": 1,
+        "max_buffer_high_water": 1,
+    }
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        rows = [
+            _row(0, bram=100, p99=500),
+            _row(1, bram=200, p99=400),
+            _row(2, bram=300, p99=450),  # dominated by row 1
+            _row(3, bram=150, p99=600),  # dominated by row 0
+        ]
+        frontier = pareto_frontier(rows)
+        assert [p["run_id"] for p in frontier] == ["c:0000", "c:0001"]
+
+    def test_frontier_sorted_by_bram_latency_decreasing(self):
+        rows = [_row(i, bram=100 * (i + 1), p99=1000 - 100 * i)
+                for i in range(4)]
+        frontier = pareto_frontier(rows)
+        brams = [p["bram_kb"] for p in frontier]
+        latencies = [p["ts_p99_ns"] for p in frontier]
+        assert brams == sorted(brams)
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_infeasible_rows_excluded(self):
+        rows = [
+            _row(0, bram=100, p99=500, qos_ok=False, loss=0.5),
+            _row(1, bram=200, p99=400),
+            _row(2, bram=50, p99=100, status="timeout"),
+        ]
+        assert [p["run_id"] for p in pareto_frontier(rows)] == ["c:0001"]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+
+class TestAggregate:
+    def test_counts_and_best(self):
+        rows = [
+            _row(0, bram=100, p99=500),
+            _row(1, bram=200, p99=400),
+            _row(2, bram=50, p99=100, status="error"),
+        ]
+        summary = aggregate_rows("c", rows)
+        assert summary["runs"] == 3
+        assert summary["status"] == {"ok": 2, "error": 1}
+        assert summary["qos_ok"] == 2
+        assert summary["best"]["run_id"] == "c:0000"
+        assert summary["bram_kb"] == {"min": 100, "max": 200}
+        assert summary["failures"] == [
+            {"run_id": "c:0002", "status": "error", "error": None}
+        ]
+
+    def test_aggregate_independent_of_row_order(self):
+        rows = [_row(i, bram=100 + i, p99=1000 - i) for i in range(10)]
+        reference = json.dumps(aggregate_rows("c", rows), sort_keys=True)
+        rng = random.Random(1)
+        for _ in range(5):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            assert (
+                json.dumps(aggregate_rows("c", shuffled), sort_keys=True)
+                == reference
+            )
+
+    def test_no_ok_rows(self):
+        summary = aggregate_rows("c", [_row(0, 1, 1, status="timeout")])
+        assert summary["best"] is None
+        assert "bram_kb" not in summary

@@ -320,3 +320,72 @@ class TestSimulateCheck:
         assert main(["simulate", str(path), "--check"]) == 1
         out = capsys.readouterr().out
         assert "class_tbl" in out
+
+
+class TestSweep:
+    def _sweep(self, tmp_path, **overrides):
+        data = {
+            "name": "cli-sweep",
+            "base": {
+                "name": "point",
+                "topology": {"kind": "ring", "switch_count": 2,
+                             "talkers": ["talker0"], "listener": "listener"},
+                "flows": {"ts_count": 4},
+                "config": "derive",
+                "slot_us": 62.5,
+                "duration_ms": 5,
+                "seed": 0,
+            },
+            "grid": {"flows.ts_count": [4, 8]},
+        }
+        data.update(overrides)
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_list_prints_expanded_runs(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        assert main(["sweep", str(path), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep:0000" in out and "cli-sweep:0001" in out
+
+    def test_end_to_end_writes_rows_and_summary(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--workers", "1",
+                     "--out", str(out_dir)]) == 0
+        rows = (out_dir / "runs.jsonl").read_text().splitlines()
+        assert len(rows) == 2
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["runs"] == 2
+        assert summary["status"] == {"ok": 2}
+        assert json.loads(capsys.readouterr().out) == summary
+
+    def test_invalid_sweep_document_exits_2(self, tmp_path, capsys):
+        path = self._sweep(tmp_path, grid={"flows.ts_cout": [4]})
+        assert main(["sweep", str(path)]) == 2
+        assert "ts_count" in capsys.readouterr().err
+
+    def test_failed_runs_exit_1(self, tmp_path, capsys):
+        path = self._sweep(tmp_path, grid={"config": [42]})
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--no-strict",
+                     "--out", str(out_dir)]) == 1
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["status"] == {"error": 1}
+
+
+class TestSimulateStrict:
+    def test_typo_in_scenario_exits_2_with_paths(self, tmp_path, capsys):
+        data = {
+            "name": "typo",
+            "topology": {"kind": "ring", "switch_count": 2,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_cout": 8},
+            "duration_ms": 5,
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        assert main(["simulate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "flows.ts_cout" in err and "ts_count" in err

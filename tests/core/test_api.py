@@ -94,3 +94,103 @@ class TestFromConfig:
         api = CustomizationAPI.from_config(ring_config())
         with pytest.raises(ConfigurationError):
             api.set_queues(queue_depth=16, queue_num=8, port_num=2)
+
+
+class TestSwitchBuilder:
+    def test_chained_build_matches_imperative(self):
+        from repro.core.api import SwitchBuilder
+
+        config = (
+            SwitchBuilder("ring-node")
+            .set_switch_tbl(unicast_size=1024, multicast_size=0)
+            .set_class_tbl(class_size=1024)
+            .set_meter_tbl(meter_size=1024)
+            .set_gate_tbl(gate_size=2, queue_num=8, port_num=1)
+            .set_cbs_tbl(cbs_map_size=3, cbs_size=3, port_num=1)
+            .set_queues(queue_depth=12, queue_num=8, port_num=1)
+            .set_buffers(buffer_num=96, port_num=1)
+            .build()
+        )
+        assert config == _complete_api("ring-node").build()
+
+    def test_every_setter_returns_the_builder(self):
+        from repro.core.api import SwitchBuilder
+
+        builder = SwitchBuilder()
+        assert builder.set_class_tbl(16) is builder
+        assert builder.set_meter_tbl(16) is builder
+
+    def test_incomplete_build_names_all_missing_calls(self):
+        from repro.core.api import SwitchBuilder
+        from repro.core.errors import IncompleteCustomizationError
+
+        builder = SwitchBuilder("partial").set_class_tbl(16)
+        with pytest.raises(IncompleteCustomizationError) as excinfo:
+            builder.build()
+        missing = excinfo.value.missing_calls
+        assert missing == {
+            "set_switch_tbl", "set_meter_tbl", "set_gate_tbl",
+            "set_cbs_tbl", "set_queues", "set_buffers",
+        }
+        # every omission appears in the one message
+        for call in missing:
+            assert call in str(excinfo.value)
+        assert excinfo.value.switch_name == "partial"
+
+    def test_structured_error_is_a_configuration_error(self):
+        from repro.core.errors import (
+            ConfigurationError,
+            IncompleteCustomizationError,
+        )
+
+        assert issubclass(IncompleteCustomizationError, ConfigurationError)
+
+    def test_consistency_still_enforced_through_facade(self):
+        from repro.core.api import SwitchBuilder
+
+        builder = SwitchBuilder().set_gate_tbl(2, 8, 1)
+        with pytest.raises(ConfigurationError, match="port_num"):
+            builder.set_buffers(96, 2)
+
+    def test_escape_hatch_exposes_wrapped_api(self):
+        from repro.core.api import SwitchBuilder
+
+        builder = SwitchBuilder("x")
+        assert isinstance(builder.api, CustomizationAPI)
+        assert builder.missing_calls == builder.api.missing_calls
+
+
+class TestApplyProfile:
+    def test_bcm53154_profile_matches_published_baseline(self):
+        from repro.core.presets import bcm53154_config
+
+        api = CustomizationAPI("ref").apply_profile("bcm53154")
+        config = api.build()
+        assert config.total_bram_kb == bcm53154_config().total_bram_kb
+
+    def test_profile_returns_self_for_chaining(self):
+        api = CustomizationAPI("ref")
+        assert api.apply_profile("ring") is api
+
+    def test_every_published_profile_builds(self):
+        from repro.core.api import PROFILES
+
+        for name in PROFILES:
+            assert CustomizationAPI(name).apply_profile(name).build()
+
+    def test_unknown_profile_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="bcm53154"):
+            CustomizationAPI().apply_profile("bcm99999")
+
+    def test_profile_conflicts_with_prior_calls_surface(self):
+        api = CustomizationAPI()
+        api.set_queues(queue_depth=99, queue_num=8, port_num=1)
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            api.apply_profile("ring")
+
+    def test_builder_profile_shortcut(self):
+        from repro.core.api import SwitchBuilder
+        from repro.core.presets import ring_config
+
+        config = SwitchBuilder("x").profile("ring").build()
+        assert config.total_bram_kb == ring_config().total_bram_kb

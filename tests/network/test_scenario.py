@@ -49,14 +49,14 @@ class TestParsing:
 class TestBuilding:
     def test_unknown_topology_kind(self):
         spec = ScenarioSpec.from_dict(
-            _spec_dict(topology={"kind": "mesh"})
+            _spec_dict(topology={"kind": "mesh"}), strict=False
         )
         with pytest.raises(ConfigurationError, match="topology kind"):
             spec.build_topology()
 
     def test_unknown_flow_parameter(self):
         spec = ScenarioSpec.from_dict(
-            _spec_dict(flows={"ts_count": 4, "bogus": 1})
+            _spec_dict(flows={"ts_count": 4, "bogus": 1}), strict=False
         )
         with pytest.raises(ConfigurationError, match="bogus"):
             spec.build_flows()
@@ -81,7 +81,7 @@ class TestBuilding:
         assert config.unicast_size == 64
 
     def test_invalid_config_value(self):
-        spec = ScenarioSpec.from_dict(_spec_dict(config=42))
+        spec = ScenarioSpec.from_dict(_spec_dict(config=42), strict=False)
         with pytest.raises(ConfigurationError):
             spec.build_config(spec.build_topology(), spec.build_flows())
 
@@ -156,3 +156,85 @@ class TestFrerScenario:
             for e in testbed.frer_eliminators.values()
         )
         assert eliminated > 0
+
+
+class TestStrictValidation:
+    def test_unknown_top_key_suggests_nearest(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError, match="duration_ms"):
+            ScenarioSpec.from_dict(_spec_dict(duration_mss=5))
+
+    def test_all_problems_reported_at_once(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as excinfo:
+            ScenarioSpec.from_dict(_spec_dict(
+                slot_us="fast",
+                seed=1.5,
+                flows={"ts_cout": 4},
+                topology={"kind": "mesh"},
+            ))
+        problems = excinfo.value.problems
+        paths = {p.split(":")[0] for p in problems}
+        assert {"slot_us", "seed", "flows.ts_cout", "topology.kind"} <= paths
+
+    def test_flow_typo_suggestion(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError, match="ts_count"):
+            ScenarioSpec.from_dict(_spec_dict(flows={"ts_cout": 4}))
+
+    def test_topology_params_checked_against_builder(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError, match="switch_count"):
+            ScenarioSpec.from_dict(_spec_dict(
+                topology={"kind": "ring", "switch_cout": 2}
+            ))
+
+    def test_config_object_fields_checked(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError, match="queue_depth"):
+            ScenarioSpec.from_dict(_spec_dict(
+                config={"queue_dept": 12}
+            ))
+
+    def test_bool_rejected_where_number_expected(self):
+        from repro.core.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError, match="slot_us"):
+            ScenarioSpec.from_dict(_spec_dict(slot_us=True))
+
+    def test_testbed_extras_remain_legal(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(clock_drift_ppm=20, trunk_error_rate=0.1)
+        )
+        assert spec.extras["clock_drift_ppm"] == 20
+
+    def test_escape_hatch_allows_anything(self):
+        spec = ScenarioSpec.from_dict(
+            _spec_dict(totally_unknown=1), strict=False
+        )
+        assert spec.extras["totally_unknown"] == 1
+
+    def test_validate_scenario_dict_returns_paths(self):
+        from repro.network.scenario import validate_scenario_dict
+
+        problems = validate_scenario_dict(
+            {"name": 7, "topology": {"kind": "ring"}, "flows": {}}
+        )
+        assert any(p.startswith("name:") for p in problems)
+
+    def test_known_extra_keys_track_testbed_signature(self):
+        from repro.network.scenario import known_extra_keys
+
+        keys = known_extra_keys()
+        assert "frer_ts" in keys and "trunk_error_rate" in keys
+        assert "topology" not in keys and "metrics" not in keys
+
+    def test_spec_validation_error_is_configuration_error(self):
+        from repro.core.errors import SpecValidationError
+
+        assert issubclass(SpecValidationError, ConfigurationError)
