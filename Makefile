@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-obs bench-campaign bench-full examples lint-rtl outputs clean
+.PHONY: install test bench bench-obs bench-campaign bench-kernel bench-full examples lint-rtl outputs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench-obs:
 
 bench-campaign:
 	$(PYTHON) benchmarks/bench_campaign.py --output BENCH_campaign.json
+
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py --output BENCH_kernel.json
 
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

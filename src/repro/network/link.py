@@ -91,4 +91,4 @@ class Link:
             self.frames_corrupted += 1
             return
         self.frames_carried += 1
-        self._sim.schedule(self.propagation_ns, lambda: self._receive(frame))
+        self._sim.post(self.propagation_ns, lambda: self._receive(frame))

@@ -210,6 +210,7 @@ class Testbed:
         profiler: Optional[WallClockProfiler] = None,
         spans: Optional[FlowSpanRecorder] = None,
         slo_policy: Optional[SloPolicy] = None,
+        gate_events: str = "auto",
     ) -> None:
         topology.validate()
         config.validate()
@@ -259,6 +260,12 @@ class Testbed:
         self.spans = spans
         self.slo_policy = slo_policy
         self.slo_monitor = None
+        if gate_events not in ("auto", "flip", "table"):
+            raise ConfigurationError(
+                f"gate_events must be 'auto', 'flip' or 'table', "
+                f"got {gate_events!r}"
+            )
+        self.gate_events = gate_events
         self.sim = Simulator(profiler=profiler)
         self.rng = RngFactory(seed)
         self.sync_domain: Optional[SyncDomain] = None
@@ -384,6 +391,7 @@ class Testbed:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 spans=self.spans,
+                gate_events=self.gate_events,
                 name=name,
             )
         if self.enable_gptp:

@@ -133,11 +133,11 @@ class TimeSeriesSampler:
         if self._started:
             raise ConfigurationError("sampler already started")
         self._started = True
-        self._sim.schedule(self.interval_ns, self._tick)
+        self._sim.post(self.interval_ns, self._tick)
 
     def _tick(self) -> None:
         self.sample()
-        self._sim.schedule(self.interval_ns, self._tick)
+        self._sim.post(self.interval_ns, self._tick)
 
     def sample(self) -> None:
         """Record one sample of every series right now."""

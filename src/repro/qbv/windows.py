@@ -161,6 +161,12 @@ def compile_gcl(
     for (time, mask), (next_time, _) in zip(transitions, transitions[1:]):
         if next_time == time:
             continue  # zero-length segment (e.g. guard of 0, or b2b windows)
+        if entries and entries[-1].gate_states == mask:
+            # Adjacent segments with identical masks (e.g. back-to-back
+            # windows of one queue under a zero guard) are one gate-table
+            # entry on hardware -- and one fewer flip event per cycle here.
+            entries[-1] = GateEntry(mask, entries[-1].interval_ns + next_time - time)
+            continue
         entries.append(GateEntry(mask, next_time - time))
     if sum(e.interval_ns for e in entries) != window_set.cycle_ns:
         raise AssertionError("compiled GCL does not cover the cycle")

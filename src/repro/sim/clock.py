@@ -23,7 +23,7 @@ reads are rounded to integer nanoseconds.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.core.errors import SimulationError
 from .kernel import Simulator
@@ -59,6 +59,7 @@ class LocalClock:
         ) / Fraction(10**6)
         self._rate_correction = Fraction(0)
         self.drift_ppm = drift_ppm
+        self._rate_listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------- reading
 
@@ -108,6 +109,18 @@ class LocalClock:
         self._rate_correction = Fraction(correction_ppm).limit_denominator(
             10**9
         ) / Fraction(10**6)
+        for listener in self._rate_listeners:
+            listener()
+
+    def on_rate_change(self, listener: Callable[[], None]) -> None:
+        """Register *listener* to run after every :meth:`adjust_rate`.
+
+        Consumers that precompute local->sim interval conversions (the
+        gate engine's window tables) subscribe here to rebuild when the
+        servo slews the rate.  Phase steps need no notification: interval
+        conversion depends on the rate only.
+        """
+        self._rate_listeners.append(listener)
 
     def sim_delay_for_local(self, local_delta_ns: int) -> int:
         """Perfect-time delay corresponding to *local_delta_ns* local ns.

@@ -74,6 +74,7 @@ class TsnSwitch:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         spans: Optional[FlowSpanRecorder] = None,
+        gate_events: str = "auto",
         name: Optional[str] = None,
     ) -> None:
         config.validate()
@@ -104,6 +105,10 @@ class TsnSwitch:
         )
         self._tracer = tracer
         self._spans = spans
+        # Gate-event discipline for every port's GateEngine: "auto" elides
+        # per-cycle flip events whenever nothing observes them (see
+        # repro.switch.gates); "flip"/"table" force a mode.
+        self.gate_events = gate_events
         # One SwitchInstruments per device binds this switch's label space
         # in the (shared) registry; None keeps the uninstrumented fast path.
         self.instruments: Optional[SwitchInstruments] = (
@@ -151,6 +156,7 @@ class TsnSwitch:
             clock=self.clock,
             tracer=self._tracer,
             instruments=port_instruments,
+            mode=self.gate_events,
             name=f"{self.name}.p{port_id}",
         )
         port = EgressPort(
@@ -295,7 +301,7 @@ class TsnSwitch:
             self.instruments.on_received()
         if self._spans is not None:
             self._spans.record(self._sim.now, "ingress", self.name, frame)
-        self._sim.schedule(
+        self._sim.post(
             self.processing_delay_ns, lambda: self._process(frame)
         )
 

@@ -36,10 +36,10 @@ from repro.obs.instruments import PortInstruments
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 from .counters import SwitchCounters
-from .gates import GateEngine
+from .gates import GATE_EVENT_PRIORITY, GateEngine
 from .packet import Descriptor, EthernetFrame
 from .queueing import BufferPool, MetadataQueue
-from .scheduler import StrictPriorityScheduler
+from .scheduler import SchedulerDecision, StrictPriorityScheduler
 from .shaper import CreditBasedShaper
 
 __all__ = ["EgressPort", "MIN_FRAGMENT_BYTES", "RESUME_OVERHEAD_BYTES"]
@@ -58,6 +58,9 @@ RESUME_OVERHEAD_BYTES = 24
 #: Wire bytes occupied after a preemption cut (mCRC + IFG) before the
 #: express frame's preamble may start.
 CUT_TAIL_BYTES = 16
+
+#: Shared idle decision for ports without express queues.
+_NO_EXPRESS = SchedulerDecision(None)
 
 
 @dataclass
@@ -125,6 +128,7 @@ class EgressPort:
         self._deliver: Optional[DeliverFn] = None
         self._busy_until = 0
         self._retry_armed_at: Optional[int] = None
+        self._gate_wake_at: Optional[int] = None
         self._active: Optional[_ActiveTx] = None
         self._suspended: Optional[_ActiveTx] = None
         self._queue_by_id: Dict[int, MetadataQueue] = {
@@ -227,13 +231,20 @@ class EgressPort:
         return serialization_ns(frame_bytes, self.rate_bps)
 
     def kick(self) -> None:
-        """(Re-)arbitrate; called on enqueue, gate flips, and tx completion.
+        """(Re-)arbitrate; called on enqueue, gate wakeups, tx completion.
 
         While a preemptable fragment occupies the wire, an eligible express
         frame triggers a preemption cut instead of waiting.  When idle, the
         order is: express traffic, then the resumption of a suspended
         preemptable frame, then everything else (802.3br: the preemptable
         MAC finishes its mPacket before starting a new preemptable frame).
+
+        With the flip-mode gate engine every gate transition calls back in
+        here; the table-mode engine produces no transitions, so whenever an
+        arbitration blocks on a gate this method arms a one-shot wakeup at
+        the blocked frame's next usable window (the scheduler's
+        ``gate_wake_delay_ns`` hint) -- same instant, same event priority
+        as the flip that would have kicked the port.
         """
         if self._sim.now < self._busy_until:
             if (
@@ -241,49 +252,89 @@ class EgressPort:
                 and self._active is not None
                 and self._active.preemptable
                 and not self._active.cut_scheduled
-                and self._express_decision() is not None
             ):
-                self._schedule_cut()
+                express = self._express_select()
+                if express.queue_id is not None:
+                    self._schedule_cut()
+                elif express.gate_wake_delay_ns is not None:
+                    # An express frame could preempt once its gate opens
+                    # mid-transmission; wake up to cut exactly then.
+                    self._arm_gate_wake(express.gate_wake_delay_ns)
             return
         if self.preemption_enabled:
-            express = self._express_decision()
-            if express is not None:
-                self._start_transmission(self._queue_by_id[express])
+            express = self._express_select()
+            if express.queue_id is not None:
+                self._start_transmission(self._queue_by_id[express.queue_id])
                 return
             if self._suspended is not None:
                 if self._can_resume(self._suspended):
                     self._resume(self._suspended)
+                else:
+                    self._arm_resume_wake(self._suspended)
+                    if express.gate_wake_delay_ns is not None:
+                        self._arm_gate_wake(express.gate_wake_delay_ns)
                 return  # preemptable MAC is committed to the suspended frame
         decision = self.scheduler.select(
             self._sim.now, self.queues, self.gates, self._serialization_ns
         )
         if decision.queue_id is not None:
             self._start_transmission(self._queue_by_id[decision.queue_id])
-        elif decision.retry_delay_ns is not None:
+            return
+        if decision.retry_delay_ns is not None:
             self._arm_retry(decision.retry_delay_ns)
+        if decision.gate_wake_delay_ns is not None:
+            self._arm_gate_wake(decision.gate_wake_delay_ns)
 
-    def _express_decision(self) -> Optional[int]:
-        """The express queue that would transmit now, if any."""
+    def _express_select(self) -> SchedulerDecision:
+        """Arbitration over the express queues only."""
         if not self._express_list:
-            return None
-        decision = self.scheduler.select(
+            return _NO_EXPRESS
+        return self.scheduler.select(
             self._sim.now,
             self._express_list,
             self.gates,
             self._serialization_ns,
         )
-        return decision.queue_id
 
     def _arm_retry(self, delay_ns: int) -> None:
         when = self._sim.now + max(1, delay_ns)
         if self._retry_armed_at is not None and self._retry_armed_at <= when:
             return  # an earlier-or-equal retry is already pending
         self._retry_armed_at = when
-        self._sim.schedule_at(when, self._retry_fire)
+        self._sim.post_at(when, self._retry_fire)
 
     def _retry_fire(self) -> None:
         self._retry_armed_at = None
         self.kick()
+
+    def _arm_gate_wake(self, delay_ns: int) -> None:
+        """One-shot re-arbitration when a blocked-on gate window opens.
+
+        Fires at :data:`GATE_EVENT_PRIORITY` -- the same priority the
+        flip-mode engine's transitions use -- so same-time frame events
+        still observe the post-wakeup arbitration order.  Deduplicated:
+        an already-armed earlier-or-equal wakeup is reused.
+        """
+        when = self._sim.now + delay_ns
+        if self._gate_wake_at is not None and self._gate_wake_at <= when:
+            return
+        self._gate_wake_at = when
+        self._sim.post_at(when, self._gate_wake_fire, GATE_EVENT_PRIORITY)
+
+    def _gate_wake_fire(self) -> None:
+        self._gate_wake_at = None
+        self.kick()
+
+    def _arm_resume_wake(self, tx: _ActiveTx) -> None:
+        """Wake when the suspended frame's remainder next fits its gate."""
+        if not self.gates.needs_wake_hints:
+            return  # flip-mode gate transitions already kick the port
+        remaining = tx.total_bytes - tx.bytes_done
+        wait = self.gates.next_out_open_window(
+            tx.queue_id, self._serialization_ns(remaining)
+        )
+        if wait is not None:
+            self._arm_gate_wake(wait)
 
     # -------------------------------------------------------- transmission
 
@@ -406,8 +457,8 @@ class EgressPort:
         cut_time = tx.fragment_start_ns + self._serialization_ns(cut_data)
         tail_time = self._serialization_ns(CUT_TAIL_BYTES)
         self._busy_until = cut_time + tail_time
-        self._sim.schedule_at(cut_time, lambda: self._execute_cut(tx, cut_data))
-        self._sim.schedule_at(cut_time + tail_time, self._tx_idle)
+        self._sim.post_at(cut_time, lambda: self._execute_cut(tx, cut_data))
+        self._sim.post_at(cut_time + tail_time, self._tx_idle)
 
     def _execute_cut(self, tx: _ActiveTx, cut_data: int) -> None:
         tx.bytes_done += cut_data

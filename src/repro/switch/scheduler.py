@@ -10,10 +10,15 @@ queue that passes all three eligibility checks:
    transmission-window guard; this is what keeps CQF slots overrun-free).
 3. **Credit** -- if the queue is CBS-mapped, its shaper credit is >= 0.
 
-The decision also carries a *retry hint*: when nothing is eligible but some
-queue was blocked purely on CBS credit, the hint says when credit recovers so
-the port can arm a re-arbitration event instead of polling.  Gate-blocked
-queues need no hint -- every gate flip already notifies the port.
+The decision also carries *retry hints*: when nothing is eligible but some
+queue was blocked purely on CBS credit, ``retry_delay_ns`` says when credit
+recovers so the port can arm a re-arbitration event instead of polling.
+When the gate engine elides flip events (table mode, see
+:mod:`repro.switch.gates`), queues blocked on a closed gate or a too-short
+gate window additionally produce ``gate_wake_delay_ns`` -- the earliest
+future window that fits the blocked head frame -- so the port wakes exactly
+when the legacy per-flip engine would have kicked it.  With the flip engine
+every transition already notifies the port, so no gate hints are computed.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ class SchedulerDecision:
 
     queue_id: Optional[int]
     retry_delay_ns: Optional[int] = None
+    gate_wake_delay_ns: Optional[int] = None
 
     @property
     def idle(self) -> bool:
@@ -51,6 +57,19 @@ class EgressScheduler:
     def __init__(self, shapers: Optional[Dict[int, CreditBasedShaper]] = None):
         self.shapers: Dict[int, CreditBasedShaper] = dict(shapers or {})
         self._retry: Optional[int] = None
+        self._gate_wake: Optional[int] = None
+
+    def _note_gate_wake(
+        self,
+        gates: GateEngine,
+        queue_id: int,
+        needed_ns: int,
+    ) -> None:
+        wait = gates.next_out_open_window(queue_id, needed_ns)
+        if wait is not None and (
+            self._gate_wake is None or wait < self._gate_wake
+        ):
+            self._gate_wake = wait
 
     def _eligible(
         self,
@@ -62,11 +81,17 @@ class EgressScheduler:
         head = queue.head()
         if head is None:
             return False
+        serialization = serialization_ns_of(head.size_bytes)
         if not gates.out_open(queue.queue_id):
+            if gates.needs_wake_hints:
+                self._note_gate_wake(gates, queue.queue_id, serialization)
             return False
         window = gates.time_until_out_close(queue.queue_id)
-        if window is not None and serialization_ns_of(head.size_bytes) > window:
-            return False  # would overrun the gate window
+        if window is not None and serialization > window:
+            # Would overrun the gate window; wake at the next one that fits.
+            if gates.needs_wake_hints:
+                self._note_gate_wake(gates, queue.queue_id, serialization)
+            return False
         shaper = self.shapers.get(queue.queue_id)
         if shaper is not None and not shaper.eligible(now_ns):
             wait = shaper.ns_until_eligible(now_ns)
@@ -101,10 +126,15 @@ class StrictPriorityScheduler(EgressScheduler):
         this port (the guard-band check needs it).
         """
         self._retry = None
+        self._gate_wake = None
         for queue in sorted(queues, key=lambda q: q.queue_id, reverse=True):
             if self._eligible(now_ns, queue, gates, serialization_ns_of):
                 return SchedulerDecision(queue.queue_id)
-        return SchedulerDecision(None, retry_delay_ns=self._retry)
+        return SchedulerDecision(
+            None,
+            retry_delay_ns=self._retry,
+            gate_wake_delay_ns=self._gate_wake,
+        )
 
 
 class DeficitRoundRobinScheduler(EgressScheduler):
@@ -143,6 +173,7 @@ class DeficitRoundRobinScheduler(EgressScheduler):
         serialization_ns_of: Callable[[int], int],
     ) -> SchedulerDecision:
         self._retry = None
+        self._gate_wake = None
         ordered = sorted(queues, key=lambda q: q.queue_id, reverse=True)
         # Stage 1: strict priority for the gated TS queues.
         for queue in ordered:
@@ -171,7 +202,11 @@ class DeficitRoundRobinScheduler(EgressScheduler):
             rounds = 0 if need <= 0 else -(-need // per_round)
             candidates.append((rounds, step, queue, head))
         if not candidates:
-            return SchedulerDecision(None, retry_delay_ns=self._retry)
+            return SchedulerDecision(
+                None,
+                retry_delay_ns=self._retry,
+                gate_wake_delay_ns=self._gate_wake,
+            )
         rounds_won, step_won, winner, head = min(
             candidates, key=lambda c: (c[0], c[1])
         )

@@ -98,9 +98,9 @@ class GptpNode:
                     t6 = self._stamp(self.clock)
                     turn = t5 - t4
                     self.path_delay_est_ns = max(0, ((t6 - t3) - turn) // 2)
-                self._sim.schedule(self.link_delay_ns, back_at_child)
-            self._sim.schedule(self.config.turnaround_ns, respond)
-        self._sim.schedule(self.link_delay_ns, at_parent)
+                self._sim.post(self.link_delay_ns, back_at_child)
+            self._sim.post(self.config.turnaround_ns, respond)
+        self._sim.post(self.link_delay_ns, at_parent)
 
     # -------------------------------------------------------------- syncing
 
@@ -108,7 +108,7 @@ class GptpNode:
         """Master role: one Sync/Follow_Up toward every child."""
         for child in self.children:
             t1 = self._stamp(self.clock)
-            self._sim.schedule(
+            self._sim.post(
                 child.link_delay_ns, lambda c=child, t=t1: c._on_sync(t)
             )
 
@@ -236,8 +236,8 @@ class SyncDomain:
     def _schedule_pdelay(self, node: GptpNode) -> None:
         def tick() -> None:
             node.measure_path_delay()
-            self._sim.schedule(self.config.pdelay_interval_ns, tick)
-        self._sim.schedule(self.config.pdelay_interval_ns, tick)
+            self._sim.post(self.config.pdelay_interval_ns, tick)
+        self._sim.post(self.config.pdelay_interval_ns, tick)
 
     def _schedule_sync(self) -> None:
         def tick() -> None:
@@ -256,8 +256,8 @@ class SyncDomain:
                 if node.name in self._failed:
                     continue
                 node.send_sync_to_children()
-            self._sim.schedule(self.config.sync_interval_ns, tick)
-        self._sim.schedule(self.config.sync_interval_ns, tick)
+            self._sim.post(self.config.sync_interval_ns, tick)
+        self._sim.post(self.config.sync_interval_ns, tick)
 
     # ------------------------------------------------------------- failover
 

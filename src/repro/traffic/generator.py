@@ -115,7 +115,7 @@ class PeriodicSource(_SourceBase):
         self.limit = limit
 
     def start(self) -> None:
-        self._sim.schedule(self.offset_ns, self._tick)
+        self._sim.post(self.offset_ns, self._tick)
 
     def _tick(self) -> None:
         if self._stopped:
@@ -123,7 +123,7 @@ class PeriodicSource(_SourceBase):
         if self.limit is not None and self.emitted >= self.limit:
             return
         self._emit()
-        self._sim.schedule(self.period_ns, self._tick)
+        self._sim.post(self.period_ns, self._tick)
 
 
 class RateSource(_SourceBase):
@@ -174,7 +174,7 @@ class RateSource(_SourceBase):
     def start(self) -> None:
         if self.rate_bps == 0:
             return
-        self._sim.schedule(self.start_ns, self._tick)
+        self._sim.post(self.start_ns, self._tick)
 
     def _next_gap(self) -> int:
         if not self.poisson:
@@ -188,4 +188,4 @@ class RateSource(_SourceBase):
         if self.until_ns is not None and self._sim.now >= self.until_ns:
             return
         self._emit()
-        self._sim.schedule(self._next_gap(), self._tick)
+        self._sim.post(self._next_gap(), self._tick)

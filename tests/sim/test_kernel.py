@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.errors import SimulationError
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import _COMPACT_MIN_DEAD, Simulator
 
 
 class TestScheduling:
@@ -204,6 +204,115 @@ class TestSimStats:
         sim.schedule(1, lambda: None)
         sim.run()
         assert sim.stats.as_dict() == {
-            "scheduled": 1, "fired": 1, "cancelled": 0,
+            "scheduled": 1, "fired": 1, "cancelled": 0, "compacted": 0,
             "calendar_high_water": 1,
         }
+
+    def test_cancel_after_fire_not_counted(self):
+        # The fire path marks the slot differently from cancellation, so a
+        # late cancel() must not inflate the cancelled counter.
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.stats.fired == 1
+        assert sim.stats.cancelled == 0
+        assert not handle.active
+
+
+class TestPost:
+    def test_post_fires_like_schedule(self):
+        sim = Simulator()
+        order = []
+        sim.post(20, lambda: order.append("b"))
+        sim.post(10, lambda: order.append("a"))
+        sim.post_at(30, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.stats.scheduled == 3 and sim.stats.fired == 3
+
+    def test_post_and_schedule_share_seq_order(self):
+        # Same-time events fire in submission order regardless of which
+        # primitive scheduled them.
+        sim = Simulator()
+        order = []
+        sim.post(5, lambda: order.append("p1"))
+        sim.schedule(5, lambda: order.append("s1"))
+        sim.post(5, lambda: order.append("p2"))
+        sim.run()
+        assert order == ["p1", "s1", "p2"]
+
+    def test_post_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.post(5, lambda: order.append("late"))
+        sim.post(5, lambda: order.append("early"), priority=-10)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.post(-1, lambda: None)
+
+    def test_post_at_past_rejected(self):
+        sim = Simulator()
+        sim.post(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_at(5, lambda: None)
+
+    def test_pending_counts_posts(self):
+        sim = Simulator()
+        sim.post(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestCompaction:
+    def test_cancellation_storm_compacts(self):
+        sim = Simulator()
+        keep = 4
+        storm = _COMPACT_MIN_DEAD * 3
+        for _ in range(keep):
+            sim.schedule(10**6, lambda: None)
+        handles = [sim.schedule(100, lambda: None) for _ in range(storm)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.stats.cancelled == storm
+        assert sim.stats.compacted >= _COMPACT_MIN_DEAD
+        assert sim.pending == keep
+        # The heap itself must have shed the dead entries.
+        assert len(sim._heap) < storm
+
+    def test_compaction_mid_run_preserves_order(self):
+        # Force a compaction from inside an event action: the run loop's
+        # heap binding must stay valid and ordering intact.
+        sim = Simulator()
+        order = []
+        handles = []
+
+        def storm_and_cancel():
+            for _ in range(_COMPACT_MIN_DEAD * 3):
+                handles.append(sim.schedule(500, lambda: order.append("x")))
+            for handle in handles:
+                handle.cancel()
+
+        sim.schedule(1, storm_and_cancel)
+        sim.schedule(2, lambda: order.append("a"))
+        sim.schedule(3, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.stats.compacted > 0
+
+    def test_peek_does_not_skew_high_water(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(5, lambda: None).cancel()
+        sim.schedule(9, lambda: None)
+        high_water = sim.stats.calendar_high_water
+        assert sim.peek() == 9
+        assert sim.stats.calendar_high_water == high_water
+        assert sim.pending == 1

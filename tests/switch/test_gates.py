@@ -9,20 +9,24 @@ from repro.switch.gates import CqfPair, GateEngine
 from repro.switch.tables import GateControlList, GateEntry
 
 
-def _engine(sim, in_entries, out_entries, pairs=(), clock=None):
+def _engine(sim, in_entries, out_entries, pairs=(), clock=None, mode="auto"):
     in_gcl = GateControlList(max(1, len(in_entries)))
     out_gcl = GateControlList(max(1, len(out_entries)))
     in_gcl.program(list(in_entries))
     out_gcl.program(list(out_entries))
-    return GateEngine(sim, in_gcl, out_gcl, clock=clock, cqf_pairs=list(pairs))
+    return GateEngine(
+        sim, in_gcl, out_gcl, clock=clock, cqf_pairs=list(pairs), mode=mode
+    )
 
 
-def _cqf_engine(sim, slot=100):
+def _cqf_engine(sim, slot=100, mode="auto"):
     # queues 6/7 alternate; all others always open
     base = 0b0011_1111
     in_entries = [GateEntry(base | 0x40, slot), GateEntry(base | 0x80, slot)]
     out_entries = [GateEntry(base | 0x80, slot), GateEntry(base | 0x40, slot)]
-    return _engine(sim, in_entries, out_entries, pairs=[CqfPair(6, 7)])
+    return _engine(
+        sim, in_entries, out_entries, pairs=[CqfPair(6, 7)], mode=mode
+    )
 
 
 class TestCqfPair:
@@ -50,9 +54,10 @@ class TestLifecycle:
         with pytest.raises(ConfigurationError):
             engine.start()
 
-    def test_flips_at_entry_boundaries(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_flips_at_entry_boundaries(self, mode):
         sim = Simulator()
-        engine = _cqf_engine(sim, slot=100)
+        engine = _cqf_engine(sim, slot=100, mode=mode)
         engine.start()
         sim.run(until=99)
         assert engine.in_open(6)
@@ -62,14 +67,40 @@ class TestLifecycle:
         assert engine.in_open(6)
 
     def test_on_change_notified(self):
+        # Flip mode: every transition notifies the scheduler.
         sim = Simulator()
-        engine = _cqf_engine(sim, slot=50)
+        engine = _cqf_engine(sim, slot=50, mode="flip")
         kicks = []
         engine.set_on_change(lambda: kicks.append(sim.now))
         engine.start()
         sim.run(until=120)
         assert kicks[0] == 0            # at start
         assert 50 in kicks and 100 in kicks
+
+    def test_table_mode_notifies_only_at_start(self):
+        # Table mode produces no transitions; re-arbitration is pulled
+        # through next_out_open_window wake hints instead.
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=50, mode="table")
+        kicks = []
+        engine.set_on_change(lambda: kicks.append(sim.now))
+        engine.start()
+        sim.run(until=120)
+        assert kicks == [0]
+
+    def test_auto_resolves_to_table_without_observers(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=50)
+        assert engine.event_mode == "auto"
+        engine.start()
+        assert engine.event_mode == "table"
+        # No periodic gate events on the calendar at all.
+        assert sim.pending == 0
+
+    def test_invalid_mode_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            _cqf_engine(sim, mode="sometimes")
 
     def test_program_after_start_rejected(self):
         sim = Simulator()
@@ -93,9 +124,10 @@ class TestLifecycle:
 
 
 class TestQueueSelection:
-    def test_cqf_redirect_to_open_member(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_cqf_redirect_to_open_member(self, mode):
         sim = Simulator()
-        engine = _cqf_engine(sim, slot=100)
+        engine = _cqf_engine(sim, slot=100, mode=mode)
         engine.start()
         assert engine.select_enqueue_queue(7) == 6  # slot 0 gathers on 6
         sim.run(until=100)
@@ -118,28 +150,103 @@ class TestQueueSelection:
 
 
 class TestGuardBandQuery:
-    def test_closed_gate_reports_zero(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_closed_gate_reports_zero(self, mode):
         sim = Simulator()
-        engine = _cqf_engine(sim)
+        engine = _cqf_engine(sim, mode=mode)
         engine.start()
         assert engine.time_until_out_close(6) == 0  # out-gate of 6 is closed
 
-    def test_open_gate_reports_remaining_window(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_open_gate_reports_remaining_window(self, mode):
         sim = Simulator()
-        engine = _cqf_engine(sim, slot=100)
+        engine = _cqf_engine(sim, slot=100, mode=mode)
         engine.start()
         assert engine.time_until_out_close(7) == 100
         sim.run(until=30)
         assert engine.time_until_out_close(7) == 70
 
-    def test_always_open_queue_reports_none(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_always_open_queue_reports_none(self, mode):
         sim = Simulator()
-        engine = _cqf_engine(sim)
+        engine = _cqf_engine(sim, mode=mode)
         engine.start()
         assert engine.time_until_out_close(0) is None  # open in both entries
 
-    def test_single_entry_gcl_reports_none(self):
+    @pytest.mark.parametrize("mode", ["flip", "table"])
+    def test_single_entry_gcl_reports_none(self, mode):
         sim = Simulator()
-        engine = _engine(sim, [GateEntry(0xFF, 50)], [GateEntry(0xFF, 50)])
+        engine = _engine(
+            sim, [GateEntry(0xFF, 50)], [GateEntry(0xFF, 50)], mode=mode
+        )
         engine.start()
         assert engine.time_until_out_close(3) is None
+
+
+class TestWakeHints:
+    def test_next_window_for_closed_gate(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100, mode="table")
+        engine.start()
+        # Queue 6's out-gate opens at the next slot boundary.
+        assert engine.next_out_open_window(6) == 100
+        sim.run(until=30)
+        assert engine.next_out_open_window(6) == 70
+
+    def test_window_must_fit_frame(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100, mode="table")
+        engine.start()
+        # A frame needing more than one slot never fits: no wake hint.
+        assert engine.next_out_open_window(6, needed_ns=101) is None
+        assert engine.next_out_open_window(6, needed_ns=100) == 100
+
+    def test_open_gate_hints_next_cycle(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100, mode="table")
+        engine.start()
+        # Queue 7 is open now; the *next* window starts a full cycle later.
+        assert engine.next_out_open_window(7) == 200
+
+    def test_flip_mode_returns_none(self):
+        sim = Simulator()
+        engine = _cqf_engine(sim, slot=100, mode="flip")
+        engine.start()
+        assert not engine.needs_wake_hints
+        assert engine.next_out_open_window(6) is None
+
+    def test_rate_change_rebuilds_boundaries(self):
+        # Slew the clock mid-entry: the committed end of the in-flight
+        # entry must hold, later boundaries follow the new rate -- exactly
+        # what the flip engine does by computing each delay at entry start.
+        sim_flip, sim_table = Simulator(), Simulator()
+        engines = {}
+        clocks = {}
+        for label, sim, mode in (
+            ("flip", sim_flip, "flip"), ("table", sim_table, "table")
+        ):
+            clock = LocalClock(sim)
+            in_gcl = GateControlList(2)
+            out_gcl = GateControlList(2)
+            base = 0b0011_1111
+            in_gcl.program(
+                [GateEntry(base | 0x40, 1000), GateEntry(base | 0x80, 1000)]
+            )
+            out_gcl.program(
+                [GateEntry(base | 0x80, 1000), GateEntry(base | 0x40, 1000)]
+            )
+            engine = GateEngine(
+                sim, in_gcl, out_gcl, clock=clock, mode=mode
+            )
+            engine.start()
+            engines[label] = engine
+            clocks[label] = clock
+            sim.post(500, lambda c=clock: c.adjust_rate(100_000))  # +10%
+        for probe in (999, 1000, 1400, 1900, 2000, 2800, 2900, 5000):
+            for label, sim in (("flip", sim_flip), ("table", sim_table)):
+                sim.run(until=probe)
+            masks = {
+                label: (engines[label].in_mask, engines[label].out_mask)
+                for label in engines
+            }
+            assert masks["flip"] == masks["table"], f"diverged at {probe}"

@@ -1,0 +1,115 @@
+"""Gate-window elision equivalence: flip vs. table engines, frame for frame.
+
+The table-mode :class:`repro.switch.gates.GateEngine` answers gate queries
+from a precomputed window table and wakes the scheduler on demand, instead
+of firing two events per GCL entry per cycle.  These tests lock the contract
+that this is *only* an event-count optimization: on identical scenarios the
+two disciplines must produce identical frame-level traces -- every latency
+sample of every flow, every drop, duplicate and reorder -- across CQF and
+Qbv gating, multi-switch topologies, and frame preemption.
+"""
+
+import pytest
+
+from repro.network.scenario import ScenarioSpec
+
+SCENARIOS = {
+    "star_cqf": {
+        "name": "star-eq",
+        "topology": {
+            "kind": "star",
+            "talkers": ["talker0", "talker1"],
+            "listener": "listener",
+        },
+        "flows": {
+            "ts_count": 8,
+            "period_us": 2000,
+            "size_bytes": 64,
+            "rc_mbps": 100,
+            "be_mbps": 100,
+        },
+        "duration_ms": 8,
+    },
+    "ring_cqf": {
+        "name": "ring-eq",
+        "topology": {
+            "kind": "ring",
+            "switch_count": 3,
+            "talkers": ["talker0"],
+            "listener": "listener",
+        },
+        "flows": {
+            "ts_count": 8,
+            "period_us": 2000,
+            "size_bytes": 64,
+            "rc_mbps": 100,
+            "be_mbps": 50,
+        },
+        "duration_ms": 8,
+    },
+    "linear_qbv": {
+        "name": "linear-eq",
+        "topology": {
+            "kind": "linear",
+            "switch_count": 2,
+            "talkers": ["talker0"],
+            "listener": "listener",
+        },
+        "flows": {"ts_count": 8, "period_us": 2000, "size_bytes": 128},
+        "duration_ms": 8,
+        "gate_mechanism": "qbv",
+    },
+    "star_preemption": {
+        "name": "preempt-eq",
+        "topology": {
+            "kind": "star",
+            "talkers": ["talker0", "talker1"],
+            "listener": "listener",
+        },
+        "flows": {
+            "ts_count": 8,
+            "period_us": 2000,
+            "size_bytes": 64,
+            "rc_mbps": 200,
+            "be_mbps": 300,
+        },
+        "duration_ms": 8,
+        "preemption_enabled": True,
+    },
+}
+
+
+def _frame_trace(doc, gate_events):
+    spec = ScenarioSpec.from_dict({**doc, "gate_events": gate_events})
+    result = spec.run()
+    trace = {
+        flow_id: (
+            tuple(rec.latencies_ns),
+            rec.deadline_misses,
+            rec.duplicates,
+            rec.reorders,
+        )
+        for flow_id, rec in sorted(result.analyzer.records.items())
+    }
+    return trace, result
+
+
+@pytest.mark.parametrize("label", sorted(SCENARIOS))
+def test_flip_and_table_traces_identical(label):
+    doc = SCENARIOS[label]
+    flip_trace, flip_result = _frame_trace(doc, "flip")
+    table_trace, table_result = _frame_trace(doc, "table")
+    assert flip_trace == table_trace
+    # The equivalence is not vacuous: traffic actually flowed...
+    assert any(latencies for latencies, *_ in flip_trace.values())
+    # ...and the table engine really did elide events.
+    assert (
+        table_result.sim_stats["fired"] < flip_result.sim_stats["fired"]
+    )
+
+
+def test_auto_defaults_to_table_for_plain_scenarios():
+    doc = SCENARIOS["star_cqf"]
+    auto = _frame_trace(doc, "auto")[1]
+    table = _frame_trace(doc, "table")[1]
+    assert auto.sim_stats["fired"] == table.sim_stats["fired"]
