@@ -70,6 +70,7 @@ from .core.sizing import derive_config
 from .core.validation import check_deployment
 from .cqf.bounds import CqfBounds, cqf_bounds
 from .cqf.schedule import CqfSchedule
+from .faults import FaultInjector, FaultPlan, FaultReport
 from .network.scenario import ScenarioSpec
 from .obs.chrome_trace import write_chrome_trace
 from .obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -78,6 +79,7 @@ from .network.testbed import ScenarioResult, Testbed
 from .network.topology import (
     TopologySpec,
     dual_path_topology,
+    frer_ring_topology,
     linear_topology,
     ring_topology,
     star_topology,
@@ -122,6 +124,10 @@ __all__ = [
     "linear_topology",
     "star_topology",
     "dual_path_topology",
+    "frer_ring_topology",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultReport",
     "Testbed",
     "ScenarioResult",
     "ScenarioSpec",

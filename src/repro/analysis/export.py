@@ -95,6 +95,9 @@ def result_summary(result) -> Dict:
     slo = getattr(result, "slo", None)
     if slo is not None:
         summary["slo"] = slo.as_dict()
+    faults = getattr(result, "faults", None)
+    if faults is not None:
+        summary["faults"] = faults.as_dict()
     for traffic_class in TrafficClass:
         received = result.analyzer.received(traffic_class)
         entry: Dict = {"received": received,

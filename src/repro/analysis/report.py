@@ -22,6 +22,7 @@ __all__ = [
     "render_series",
     "render_metrics",
     "render_slo",
+    "render_faults",
 ]
 
 
@@ -251,6 +252,79 @@ def render_slo(report: "SloReport", max_violations: int = 20) -> str:
         f"SLO: {status} "
         f"({report.monitored}/{len(report.verdicts)} flows monitored, "
         f"{report.total_violations} violations)"
+    )
+    return "\n\n".join(sections)
+
+
+def render_faults(report: "FaultReport") -> str:
+    """Pretty-print a :class:`~repro.faults.FaultReport` (``repro faults``).
+
+    The executed fault timeline, the per-link destruction counters, FRER
+    elimination activity, and — when gPTP ran — the failover line
+    (elections, detection+election latency, surviving grandmaster).
+    """
+    timeline_rows = [
+        [
+            f"{entry['time_ns'] / 1000:.1f}",
+            entry["kind"],
+            entry["target"],
+            entry["detail"],
+        ]
+        for entry in report.timeline
+    ]
+    sections = [
+        render_table(
+            ["time(us)", "kind", "target", "detail"],
+            timeline_rows or [["-", "-", "-", "(no events fired)"]],
+            title="Fault timeline",
+        )
+    ]
+    if report.links:
+        link_rows = [
+            [
+                name,
+                str(stats["carried"]),
+                str(stats["blackholed"]),
+                str(stats["fault_lost"]),
+                str(stats["fault_corrupted"]),
+                str(stats["down_count"]),
+            ]
+            for name, stats in sorted(report.links.items())
+        ]
+        sections.append(
+            render_table(
+                ["link", "carried", "blackholed", "lost", "corrupted",
+                 "downs"],
+                link_rows,
+                title="Faulted links",
+            )
+        )
+    if report.frer:
+        frer_rows = [
+            [listener, str(stats["eliminated"]), str(stats["rogue"])]
+            for listener, stats in sorted(report.frer.items())
+        ]
+        sections.append(
+            render_table(
+                ["listener", "duplicates eliminated", "rogue"],
+                frer_rows,
+                title="FRER recovery",
+            )
+        )
+    if report.gptp is not None:
+        latencies = report.gptp["failover_latencies_ns"]
+        latency = (
+            f"{latencies[-1] / 1_000_000:.2f}ms failover"
+            if latencies else "no failover needed"
+        )
+        sections.append(
+            f"gPTP: {report.gptp['elections']} election(s), {latency}, "
+            f"grandmaster now {report.gptp['grandmaster'] or '(none)'}, "
+            f"max |offset| {report.gptp['max_abs_offset_ns']}ns"
+        )
+    sections.append(
+        f"Frames lost in failover: {report.frames_lost_in_failover} "
+        f"(FRER eliminated {report.frer_eliminated} duplicates)"
     )
     return "\n\n".join(sections)
 

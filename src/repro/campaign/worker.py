@@ -118,4 +118,13 @@ def _measurements(result, bram_kb: float) -> Dict[str, Any]:
             "passed": slo.passed,
             "monitored_flows": slo.monitored,
         }
+    faults = getattr(result, "faults", None)
+    if faults is not None:
+        gptp = faults.gptp or {}
+        measurements["faults"] = {
+            "events": len(faults.timeline),
+            "frames_lost_in_failover": faults.frames_lost_in_failover,
+            "frer_eliminated": faults.frer_eliminated,
+            "gptp_elections": gptp.get("elections", 0),
+        }
     return measurements

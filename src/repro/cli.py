@@ -32,6 +32,14 @@ Five commands wrap the library's main workflows:
     :class:`repro.campaign.SweepSpec`) into concrete scenarios and run
     them across a process pool, streaming per-run JSONL rows and writing
     an aggregate summary with a BRAM-vs-QoS Pareto frontier.
+``faults``
+    Run a scenario that declares a ``"faults"`` stanza (see
+    :mod:`repro.faults`) and print the recovery summary: the executed
+    fault timeline, per-link frame destruction, FRER elimination
+    counters, gPTP failover latency, the drops-by-reason table, and the
+    SLO verdicts.  Exit code 0 = survived (SLO passed, or zero TS loss
+    when nothing is monitored), 1 = the faults caused violations, 2 =
+    the scenario declares no faults.
 """
 
 from __future__ import annotations
@@ -198,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the report as JSON instead of tables")
     slo.add_argument("--violations", type=int, default=20,
                      help="individual violations to list (default: 20)")
+
+    faults = commands.add_parser(
+        "faults",
+        help="run a faulted scenario and print the recovery summary",
+    )
+    faults.add_argument("scenario", type=Path,
+                        help="scenario file with a 'faults' stanza")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the fault report (and SLO report) as "
+                             "JSON instead of tables")
+    faults.add_argument("--no-strict", action="store_true",
+                        help="skip strict scenario validation (unknown "
+                             "keys pass through to the testbed)")
 
     sweep = commands.add_parser(
         "sweep",
@@ -441,6 +462,43 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_faults, render_slo
+    from repro.obs.slo import SloPolicy
+
+    spec = ScenarioSpec.from_file(args.scenario, strict=not args.no_strict)
+    if spec.faults is None:
+        print(f"error: {args.scenario} declares no 'faults' stanza",
+              file=sys.stderr)
+        return 2
+    # Faults without verdicts are just noise: always attach SLO
+    # monitoring so the run says whether the network survived.
+    policy = spec.build_slo_policy() or SloPolicy()
+    result = spec.run(slo_policy=policy)
+    fault_report = result.faults
+    slo_report = result.slo
+    assert fault_report is not None and slo_report is not None
+    if args.json:
+        payload = {"faults": fault_report.as_dict(),
+                   "slo": slo_report.as_dict()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_faults(fault_report))
+        print()
+        print(result.drop_report())
+        print()
+        print(render_slo(slo_report))
+    if slo_report.monitored:
+        return 0 if slo_report.passed else 1
+    # No SLO bound anywhere: fall back to the raw TS loss signal.
+    from repro.traffic.flows import TrafficClass
+
+    ts_loss = result.loss_rate(TrafficClass.TS)
+    print("# no flow has any SLO bound; verdict is TS loss only",
+          file=sys.stderr)
+    return 0 if ts_loss == 0.0 else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_metrics
 
@@ -513,6 +571,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,
     "sweep": _cmd_sweep,
+    "faults": _cmd_faults,
 }
 
 

@@ -1,0 +1,32 @@
+"""Deterministic, scripted fault injection for scenario runs.
+
+The resilience claims of a TSN switch -- 802.1CB seamless redundancy,
+gPTP holdover and re-election, graceful degradation under buffer pressure
+-- only mean something when exercised.  This package supplies the
+adversarial harness:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a validated, JSON-declarable
+  schedule of link, clock and buffer faults (the scenario ``"faults"``
+  stanza);
+* :class:`~repro.faults.injector.FaultInjector` -- executes the plan as
+  kernel ``post_at`` events inside a running testbed, so faulted runs stay
+  byte-deterministic and campaign-sweepable;
+* :class:`~repro.faults.injector.FaultReport` -- the recovery-observability
+  digest: fault timeline, per-link loss, FRER elimination counters, and
+  gPTP failover latency.
+
+See ``docs/faults.md`` for the plan schema and determinism guarantees.
+"""
+
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, validate_faults_dict
+from .injector import FAULT_EVENT_PRIORITY, FaultInjector, FaultReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "validate_faults_dict",
+    "FAULT_EVENT_PRIORITY",
+    "FaultInjector",
+    "FaultReport",
+]

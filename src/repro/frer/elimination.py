@@ -58,10 +58,17 @@ class SequenceRecovery:
             return True
         delta = seq - self._highest
         if delta > 0:
-            # advance: shift history, mark the previous highest as seen
-            self._history = (
-                (self._history << delta) | (1 << (delta - 1))
-            ) & ((1 << self.history_length) - 1)
+            if delta > self.history_length:
+                # The whole window scrolls past: every previously seen
+                # sequence number is out of range now.  Clearing directly
+                # avoids materializing a delta-bit integer for huge jumps
+                # (a rogue talker could otherwise force unbounded shifts).
+                self._history = 0
+            else:
+                # advance: shift history, mark the previous highest as seen
+                self._history = (
+                    (self._history << delta) | (1 << (delta - 1))
+                ) & ((1 << self.history_length) - 1)
             self._highest = seq
             self.accepted += 1
             return True

@@ -100,6 +100,12 @@ class Host:
 
     def receive(self, frame: EthernetFrame) -> None:
         """A frame arrived from the network."""
+        if not frame.fcs_ok:
+            # NIC FCS check: bit-errored frames never reach the stack.
+            self.counters.dropped_corrupt += 1
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
+            return
         self.received += 1
         if self._spans is not None:
             self._spans.record(self._sim.now, "rx", self.name, frame)

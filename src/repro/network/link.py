@@ -11,14 +11,26 @@ link is purely a delay line that never reorders.  For failure-injection
 studies it can *drop*: ``error_rate`` models FCS corruption (the receiver
 discards the frame, as a real MAC does), drawn from a seeded RNG so lossy
 runs stay reproducible.  ``fail()``/``restore()`` model a cable pull.
+
+The fault-injection layer (:mod:`repro.faults`) drives three additional,
+independently counted impairments:
+
+* **blackhole** -- ``fail()``/``restore()`` windows (``frames_blackholed``);
+* **fault loss** -- :meth:`set_fault_loss` drops a seeded fraction of frames
+  silently, modelling an EMI burst (``frames_fault_lost``);
+* **fault corruption** -- :meth:`set_fault_corrupt` delivers frames with
+  ``fcs_ok=False`` so the *receiving* MAC drops and counts them
+  (``frames_fault_corrupted``), which is where real bit errors surface.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.obs.flowspans import FlowSpanRecorder
 from repro.sim.kernel import Simulator
 from repro.switch.packet import EthernetFrame
 from repro.switch.port import EgressPort
@@ -42,6 +54,7 @@ class Link:
         error_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         name: str = "link",
+        spans: Optional[FlowSpanRecorder] = None,
     ) -> None:
         if propagation_ns < 0:
             raise ConfigurationError(
@@ -61,10 +74,18 @@ class Link:
         self.error_rate = error_rate
         self._rng = rng
         self.name = name
+        self._spans = spans
         self.frames_carried = 0
         self.frames_corrupted = 0
         self.frames_blackholed = 0
+        self.frames_fault_lost = 0
+        self.frames_fault_corrupted = 0
+        self.down_count = 0
         self._up = True
+        self._fault_loss_rate = 0.0
+        self._fault_loss_rng: Optional[random.Random] = None
+        self._fault_corrupt_rate = 0.0
+        self._fault_corrupt_rng: Optional[random.Random] = None
         src.attach(self._carry)
 
     # -------------------------------------------------------------- failure
@@ -75,20 +96,93 @@ class Link:
 
     def fail(self) -> None:
         """Cable pulled: every subsequent frame is lost until restore."""
-        self._up = False
+        if self._up:
+            self._up = False
+            self.down_count += 1
 
     def restore(self) -> None:
         self._up = True
 
+    def set_fault_loss(
+        self, rate: float, rng: Optional[random.Random] = None
+    ) -> None:
+        """Silently drop a *rate* fraction of frames (fault injection).
+
+        ``rate=0`` ends the loss window.  A non-zero rate below 1.0 needs a
+        seeded *rng* so faulted runs stay byte-deterministic.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: fault loss rate must be in [0, 1], got {rate}"
+            )
+        if 0.0 < rate < 1.0 and rng is None:
+            raise ConfigurationError(
+                f"{self.name}: a partial loss window needs a seeded rng"
+            )
+        self._fault_loss_rate = rate
+        self._fault_loss_rng = rng
+
+    def set_fault_corrupt(
+        self, rate: float, rng: Optional[random.Random] = None
+    ) -> None:
+        """Flip bits on a *rate* fraction of frames (fault injection).
+
+        Corrupted frames are still delivered -- with ``fcs_ok=False`` -- so
+        the receiving MAC's FCS check drops and counts them, matching where
+        real bit errors are detected.  ``rate=0`` ends the window.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: fault corrupt rate must be in [0, 1], "
+                f"got {rate}"
+            )
+        if 0.0 < rate < 1.0 and rng is None:
+            raise ConfigurationError(
+                f"{self.name}: a partial corruption window needs a seeded rng"
+            )
+        self._fault_corrupt_rate = rate
+        self._fault_corrupt_rng = rng
+
     # ------------------------------------------------------------- carrying
+
+    def _note_drop(self, frame: EthernetFrame) -> None:
+        if self._spans is not None:
+            self._spans.record(self._sim.now, "drop", self.name, frame)
 
     def _carry(self, frame: EthernetFrame) -> None:
         """Called by the port at last-bit-out; deliver after propagation."""
         if not self._up:
             self.frames_blackholed += 1
+            self._note_drop(frame)
+            return
+        if self._fault_loss_rate and (
+            self._fault_loss_rate >= 1.0
+            or self._fault_loss_rng.random() < self._fault_loss_rate
+        ):
+            self.frames_fault_lost += 1
+            self._note_drop(frame)
             return
         if self.error_rate and self._rng.random() < self.error_rate:
             self.frames_corrupted += 1
+            self._note_drop(frame)
             return
+        if self._fault_corrupt_rate and (
+            self._fault_corrupt_rate >= 1.0
+            or self._fault_corrupt_rng.random() < self._fault_corrupt_rate
+        ):
+            self.frames_fault_corrupted += 1
+            frame = replace(frame, fcs_ok=False)
         self.frames_carried += 1
         self._sim.post(self.propagation_ns, lambda: self._receive(frame))
+
+    # -------------------------------------------------------------- queries
+
+    def fault_counters(self) -> dict:
+        """Flat counter dump for recovery reports."""
+        return {
+            "carried": self.frames_carried,
+            "blackholed": self.frames_blackholed,
+            "fault_lost": self.frames_fault_lost,
+            "fault_corrupted": self.frames_fault_corrupted,
+            "down_count": self.down_count,
+        }

@@ -39,6 +39,7 @@ from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError, SpecValidationError
 from repro.core.sizing import derive_config
 from repro.core.units import mbps, us
+from repro.faults.plan import FaultPlan, validate_faults_dict
 from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
@@ -50,6 +51,7 @@ from .testbed import ScenarioResult, Testbed
 from .topology import (
     TopologySpec,
     dual_path_topology,
+    frer_ring_topology,
     linear_topology,
     ring_topology,
     star_topology,
@@ -62,12 +64,14 @@ _TOPOLOGY_BUILDERS = {
     "linear": linear_topology,
     "star": star_topology,
     "dual_path": dual_path_topology,
+    "frer_ring": frer_ring_topology,
 }
 
 #: Top-level scenario keys mapped onto ScenarioSpec fields directly.
 _KNOWN_TOP_KEYS = frozenset({
     "name", "topology", "flows", "config", "slot_us", "duration_ms",
     "seed", "gate_mechanism", "use_itp", "injection_phase", "slo",
+    "faults",
 })
 
 #: Flow-stanza keys consumed by :meth:`ScenarioSpec.build_flows`.
@@ -80,7 +84,7 @@ _KNOWN_FLOW_KEYS = frozenset(
 _EXPLICIT_TESTBED_KWARGS = frozenset({
     "self", "topology", "config", "flows", "slot_ns", "seed", "use_itp",
     "gate_mechanism", "injection_phase", "tracer", "metrics", "profiler",
-    "spans", "slo_policy",
+    "spans", "slo_policy", "fault_plan",
 })
 
 
@@ -156,6 +160,8 @@ def validate_scenario_dict(data: Mapping[str, Any]) -> List[str]:
         )
     if "slo" in data and data["slo"] is not None:
         _check_type(problems, "slo", data["slo"], Mapping, "an object")
+    if "faults" in data and data["faults"] is not None:
+        problems.extend(validate_faults_dict(data["faults"]))
 
     topology = data.get("topology")
     if topology is not None:
@@ -227,6 +233,7 @@ class ScenarioSpec:
     use_itp: bool = True
     injection_phase: str = "planned"
     slo: Optional[Dict[str, Any]] = None  # SLO policy stanza (see obs.slo)
+    faults: Optional[Dict[str, Any]] = None  # fault plan (see repro.faults)
     rc_mbps: Optional[int] = None  # legacy alias; prefer flows.rc_mbps
     extras: Dict[str, Any] = field(default_factory=dict)
 
@@ -290,6 +297,8 @@ class ScenarioSpec:
         }
         if self.slo is not None:
             data["slo"] = self.slo
+        if self.faults is not None:
+            data["faults"] = self.faults
         data.update(self.extras)
         return data
 
@@ -362,6 +371,12 @@ class ScenarioSpec:
             return None
         return SloPolicy.from_dict(self.slo)
 
+    def build_fault_plan(self) -> Optional[FaultPlan]:
+        """The parsed ``"faults"`` stanza, or ``None`` when absent."""
+        if self.faults is None:
+            return None
+        return FaultPlan.from_dict(self.faults)
+
     def build_testbed(
         self,
         metrics: Optional[MetricsRegistry] = None,
@@ -401,6 +416,7 @@ class ScenarioSpec:
                 slo_policy if slo_policy is not None
                 else self.build_slo_policy()
             ),
+            fault_plan=self.build_fault_plan(),
             **self.extras,
         )
 

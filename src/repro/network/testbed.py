@@ -30,6 +30,8 @@ from repro.core.units import GIGABIT, ms, serialization_ns, wire_bytes
 from repro.cqf.gcl_gen import DEFAULT_TS_QUEUE_PAIR, cqf_port_program
 from repro.cqf.itp import ItpPlan, ItpPlanner, unplanned_plan
 from repro.cqf.schedule import CqfSchedule
+from repro.faults.injector import FaultInjector, FaultReport
+from repro.faults.plan import FaultPlan
 from repro.obs.flowspans import FlowSpanRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
@@ -72,6 +74,11 @@ class ScenarioResult:
     sim_stats: Dict[str, int] = field(default_factory=dict)
     spans: Optional[FlowSpanRecorder] = None
     slo: Optional[SloReport] = None
+    links: List["Link"] = field(default_factory=list)
+    frer_eliminators: Dict[str, "FrerEliminator"] = field(
+        default_factory=dict
+    )
+    faults: Optional[FaultReport] = None
 
     # ------------------------------------------------------------ shortcuts
 
@@ -155,12 +162,17 @@ class ScenarioResult:
         """Per-switch drop totals broken down by reason.
 
         One row per switch, one column per drop stage (lookup miss,
-        policer, Qci gate filter, queue tail, buffer exhaustion) -- the
-        where-did-loss-come-from view the undersizing ablations read.
+        policer, Qci gate filter, queue tail, buffer exhaustion, ingress
+        FCS rejection) -- the where-did-loss-come-from view the
+        undersizing ablations read.  Runs with link faults or FRER active
+        append the link-level losses and the eliminations under their own
+        distinct reasons instead of folding them into switch loss.
         """
         from repro.analysis.report import render_table
 
-        reasons = ("unknown_dst", "policer", "gate", "tail", "no_buffer")
+        reasons = (
+            "unknown_dst", "policer", "gate", "tail", "no_buffer", "corrupt",
+        )
         rows = []
         for name, switch in self.switches.items():
             counters = switch.counters
@@ -169,11 +181,50 @@ class ScenarioResult:
                 + [str(getattr(counters, f"dropped_{r}")) for r in reasons]
                 + [str(counters.dropped_total)]
             )
-        return render_table(
-            ["switch"] + list(reasons) + ["total"],
-            rows,
-            title="Drops by reason",
-        )
+        sections = [
+            render_table(
+                ["switch"] + list(reasons) + ["total"],
+                rows,
+                title="Drops by reason",
+            )
+        ]
+        link_rows = [
+            [
+                link.name,
+                str(link.frames_blackholed),
+                str(link.frames_fault_lost),
+                str(link.frames_fault_corrupted),
+            ]
+            for link in self.links
+            if link.frames_blackholed
+            or link.frames_fault_lost
+            or link.frames_fault_corrupted
+        ]
+        if link_rows:
+            sections.append(
+                render_table(
+                    ["link", "blackholed", "fault lost", "fault corrupted"],
+                    link_rows,
+                    title="Link losses",
+                )
+            )
+        frer_rows = [
+            [
+                listener,
+                str(eliminator.duplicates_eliminated),
+                str(eliminator.rogue_frames),
+            ]
+            for listener, eliminator in sorted(self.frer_eliminators.items())
+        ]
+        if frer_rows:
+            sections.append(
+                render_table(
+                    ["listener", "duplicates eliminated", "rogue"],
+                    frer_rows,
+                    title="FRER elimination (not loss)",
+                )
+            )
+        return "\n\n".join(sections)
 
 
 class Testbed:
@@ -211,6 +262,7 @@ class Testbed:
         spans: Optional[FlowSpanRecorder] = None,
         slo_policy: Optional[SloPolicy] = None,
         gate_events: str = "auto",
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         topology.validate()
         config.validate()
@@ -266,6 +318,8 @@ class Testbed:
                 f"got {gate_events!r}"
             )
         self.gate_events = gate_events
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
         self.sim = Simulator(profiler=profiler)
         self.rng = RngFactory(seed)
         self.sync_domain: Optional[SyncDomain] = None
@@ -458,6 +512,7 @@ class Testbed:
                         else None
                     ),
                     name=name,
+                    spans=self.spans,
                 )
             )
         for uplink in self.topology.uplinks:
@@ -469,6 +524,7 @@ class Testbed:
                     self.switches[uplink.dst].receive,
                     self.propagation_ns,
                     name=f"{uplink.host}->{uplink.dst}",
+                    spans=self.spans,
                 )
             )
         for attachment in self.topology.attachments:
@@ -484,6 +540,7 @@ class Testbed:
                         f"{attachment.switch}.p{attachment.port}"
                         f"->{attachment.host}"
                     ),
+                    spans=self.spans,
                 )
             )
             self._listener_ports[(attachment.switch, attachment.host)] = (
@@ -850,6 +907,19 @@ class Testbed:
             self.sync_domain.start()
             self.sim.run(until=self.gptp_warmup_ns)
         start_ns = self.sim.now
+        if self.fault_plan is not None:
+            # Fault times are relative to traffic start so a plan means
+            # the same thing regardless of gPTP warmup.
+            self.fault_injector = FaultInjector(
+                self.fault_plan,
+                sim=self.sim,
+                links=self.links,
+                switches=self.switches,
+                rng=self.rng,
+                sync_domain=self.sync_domain,
+                metrics=self.metrics,
+            )
+            self.fault_injector.arm(start_ns)
         for switch in self.switches.values():
             switch.start()
         for host in self.hosts.values():
@@ -869,6 +939,20 @@ class Testbed:
             if self.slo_monitor is not None
             else None
         )
+        fault_report = (
+            self.fault_injector.report(
+                frer_eliminators=self.frer_eliminators
+            )
+            if self.fault_injector is not None
+            else None
+        )
+        if self.metrics is not None and self.frer_eliminators:
+            gauge = self.metrics.gauge(
+                "frer_duplicates_eliminated",
+                help="FRER duplicates eliminated per listener",
+            )
+            for listener, eliminator in self.frer_eliminators.items():
+                gauge.set(eliminator.duplicates_eliminated, listener=listener)
         return ScenarioResult(
             duration_ns=duration_ns,
             slot_ns=self.slot_ns,
@@ -882,4 +966,7 @@ class Testbed:
             sim_stats=self.sim.stats.as_dict(),
             spans=self.spans,
             slo=slo_report,
+            links=self.links,
+            frer_eliminators=self.frer_eliminators,
+            faults=fault_report,
         )

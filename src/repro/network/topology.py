@@ -39,6 +39,7 @@ __all__ = [
     "HostAttachment",
     "TopologySpec",
     "ring_topology",
+    "frer_ring_topology",
     "dual_path_topology",
     "linear_topology",
     "star_topology",
@@ -232,6 +233,48 @@ def ring_topology(
         trunks=trunks,
         uplinks=[HostUplink(t, names[talker_switch_index]) for t in talkers],
         attachments=[HostAttachment(names[-1], 0, listener)],
+    )
+    spec.validate()
+    return spec
+
+
+def frer_ring_topology(
+    switch_count: int = 6,
+    talkers: Sequence[str] = ("talker0",),
+    listener: str = "listener",
+) -> TopologySpec:
+    """A ring carrying FRER member streams both ways round.
+
+    The 802.1CB variant of the paper's ring: the talker switch ``sw0``
+    enables two ports and feeds each replica around the loop in opposite
+    directions -- clockwise over ``sw1..sw{a}`` and counter-clockwise over
+    ``sw{n-1}..sw{a+1}`` -- and the listener attaches at the far end of
+    *both* arcs.  As in :func:`ring_topology`, the arc segment that carries
+    no measured traffic (here the one between the two listener switches) is
+    elided, which also makes each replica's shortest path unique and the
+    two paths edge-disjoint: any single trunk cut leaves one arc intact.
+    """
+    if switch_count < 3:
+        raise TopologyError("FRER ring needs at least 3 switches")
+    names = _switch_names(switch_count)
+    split = switch_count // 2
+    clockwise = names[1:split + 1]
+    counter = names[:split:-1]  # sw{n-1}, ..., sw{split+1}
+    trunks = [TrunkLink(names[0], 0, clockwise[0])]
+    for src, dst in zip(clockwise, clockwise[1:]):
+        trunks.append(TrunkLink(src, 0, dst))
+    trunks.append(TrunkLink(names[0], 1, counter[0]))
+    for src, dst in zip(counter, counter[1:]):
+        trunks.append(TrunkLink(src, 0, dst))
+    spec = TopologySpec(
+        name="frer-ring",
+        switch_ports={names[0]: 2, **{name: 1 for name in names[1:]}},
+        trunks=trunks,
+        uplinks=[HostUplink(t, names[0]) for t in talkers],
+        attachments=[
+            HostAttachment(clockwise[-1], 0, listener),
+            HostAttachment(counter[-1], 0, listener),
+        ],
     )
     spec.validate()
     return spec

@@ -103,6 +103,23 @@ class LocalClock:
         self._rebase()
         self._base_local += delta_ns
 
+    def set_drift_ppm(self, drift_ppm: float) -> None:
+        """Change the oscillator's *free-running* frequency error.
+
+        Models a frequency-step fault (thermal shock, oscillator aging):
+        the nominal rate changes mid-run while any servo correction stays
+        in place, so the disciplined clock starts accumulating phase error
+        until its servo notices.  Rate-change listeners are notified like
+        for :meth:`adjust_rate` so interval caches rebuild.
+        """
+        self._rebase()
+        self._nominal_rate = Fraction(1) + Fraction(drift_ppm).limit_denominator(
+            10**9
+        ) / Fraction(10**6)
+        self.drift_ppm = drift_ppm
+        for listener in self._rate_listeners:
+            listener()
+
     def adjust_rate(self, correction_ppm: float) -> None:
         """Set the servo's rate correction (replaces any previous one)."""
         self._rebase()

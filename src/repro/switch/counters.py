@@ -28,6 +28,7 @@ class SwitchCounters:
     dropped_gate: int = 0         # in-gate closed on arrival (802.1Qci filter)
     dropped_tail: int = 0         # queue at depth
     dropped_no_buffer: int = 0    # buffer pool exhausted
+    dropped_corrupt: int = 0      # FCS check failed at ingress (bit errors)
     per_queue_enqueued: Dict[int, int] = field(default_factory=dict)
 
     @property
@@ -38,6 +39,7 @@ class SwitchCounters:
             + self.dropped_gate
             + self.dropped_tail
             + self.dropped_no_buffer
+            + self.dropped_corrupt
         )
 
     def note_enqueue(self, queue_id: int) -> None:
@@ -60,6 +62,7 @@ class SwitchCounters:
             "dropped_gate": self.dropped_gate,
             "dropped_tail": self.dropped_tail,
             "dropped_no_buffer": self.dropped_no_buffer,
+            "dropped_corrupt": self.dropped_corrupt,
             "dropped_total": self.dropped_total,
         }
         for queue_id in sorted(self.per_queue_enqueued):

@@ -301,6 +301,17 @@ class TsnSwitch:
             self.instruments.on_received()
         if self._spans is not None:
             self._spans.record(self._sim.now, "ingress", self.name, frame)
+        if not frame.fcs_ok:
+            # The MAC's FCS check rejects bit-errored frames before the
+            # pipeline ever sees them, exactly like real ingress silicon.
+            self.counters.dropped_corrupt += 1
+            self._tracer.emit(
+                self._sim.now, "drop", f"{self.name} corrupt_fcs",
+                flow=frame.flow_id,
+            )
+            if self._spans is not None:
+                self._spans.record(self._sim.now, "drop", self.name, frame)
+            return
         self._sim.post(
             self.processing_delay_ns, lambda: self._process(frame)
         )

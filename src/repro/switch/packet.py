@@ -67,6 +67,8 @@ class EthernetFrame:
     flow_id: int = -1             # measurement: which flow produced it
     seq: int = -1                 # measurement: per-flow sequence number
     created_ns: int = -1          # measurement: injection timestamp
+    fcs_ok: bool = True           # False = bit errors on the wire; the
+                                  # receiving MAC drops it at ingress
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __post_init__(self) -> None:

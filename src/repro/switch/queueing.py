@@ -152,3 +152,32 @@ class BufferPool:
             raise ConfigurationError(f"double release of slot {slot}")
         self._free.append(slot)
         self.stats.releases += 1
+
+    # --------------------------------------------------------- fault windows
+
+    def seize(self, count: int) -> List[int]:
+        """Take up to *count* free slots out of circulation (fault injection).
+
+        Models a transient shared-memory pressure fault: seized slots are
+        invisible to :meth:`allocate` until handed back via :meth:`unseize`.
+        Returns the seized slot ids (possibly fewer than requested when the
+        pool is busy).  Occupied slots are never seized, so in-flight frames
+        are unaffected -- only future admissions feel the shrink.
+        """
+        if count < 0:
+            raise ConfigurationError(f"cannot seize {count} slots")
+        taken: List[int] = []
+        while self._free and len(taken) < count:
+            taken.append(self._free.pop())
+        return taken
+
+    def unseize(self, taken: List[int]) -> None:
+        """Return slots previously taken by :meth:`seize`."""
+        for slot in taken:
+            if not 0 <= slot < self.slots:
+                raise ConfigurationError(
+                    f"slot {slot} outside pool of {self.slots}"
+                )
+            if slot in self._free:
+                raise ConfigurationError(f"slot {slot} is already free")
+            self._free.append(slot)

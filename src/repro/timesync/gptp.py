@@ -163,6 +163,11 @@ class SyncDomain:
         self.announce_timeout_intervals = 3
         self._missed_announces = 0
         self.elections = 0
+        #: Recovery observability (read by the fault-injection report):
+        #: sim timestamps of grandmaster failures and of the elections that
+        #: healed them.
+        self.gm_failure_times_ns: List[int] = []
+        self.election_times_ns: List[int] = []
 
     def add_node(
         self,
@@ -265,11 +270,63 @@ class SyncDomain:
         """Kill a node's protocol engine (its clock keeps free-running)."""
         if name not in self.nodes:
             raise ConfigurationError(f"unknown gPTP node {name!r}")
+        if name in self._failed:
+            return
         self._failed.add(name)
+        if self._grandmaster is not None and self._grandmaster.name == name:
+            self.gm_failure_times_ns.append(self._sim.now)
 
     def restore_node(self, name: str) -> None:
-        """Bring a failed node's protocol engine back (as a slave)."""
+        """Bring a failed node's protocol engine back (as a slave).
+
+        The node rejoins the running tree under its best live neighbor --
+        a local graft, not a full re-root, so every *other* node keeps its
+        parent, path-delay estimate and servo state undisturbed.  A node
+        restored while still wired as grandmaster (it failed but the
+        announce timeout has not elapsed yet) simply resumes announcing.
+        """
+        if name not in self.nodes:
+            raise ConfigurationError(f"unknown gPTP node {name!r}")
+        if name not in self._failed:
+            return
         self._failed.discard(name)
+        node = self.nodes[name]
+        if self._grandmaster is not None and self._grandmaster.name == name:
+            return  # never deposed: it just resumes its grandmaster role
+        if node.parent is not None and node.parent.name not in self._failed:
+            return  # old attachment is still live
+        # Graft under the best (BMCA-ranked) live, tree-connected neighbor.
+        candidates = [
+            neighbor
+            for neighbor in self._adjacency.get(name, {})
+            if neighbor not in self._failed
+            and self._in_tree(self.nodes[neighbor])
+        ]
+        if not candidates:
+            return  # isolated: keeps free-running until topology heals
+        parent_name = min(candidates, key=lambda n: (self.priorities[n], n))
+        if node.parent is not None and node in node.parent.children:
+            node.parent.children.remove(node)
+        parent = self.nodes[parent_name]
+        node.parent = parent
+        node.link_delay_ns = self._adjacency[name][parent_name]
+        node.path_delay_est_ns = None
+        node._last_sync = None
+        if node not in parent.children:
+            parent.children.append(node)
+        node.measure_path_delay()
+
+    def _in_tree(self, node: GptpNode) -> bool:
+        """True when *node* has a live path up to the acting grandmaster."""
+        seen = set()
+        while node is not None:
+            if node.name in seen or node.name in self._failed:
+                return False
+            seen.add(node.name)
+            if node is self._grandmaster:
+                return True
+            node = node.parent
+        return False
 
     def _elect_new_grandmaster(self) -> None:
         """BMCA outcome: best surviving priority wins; tree re-roots."""
@@ -279,6 +336,7 @@ class SyncDomain:
         winner = min(survivors, key=lambda n: (self.priorities[n], n))
         self._reroot(winner)
         self.elections += 1
+        self.election_times_ns.append(self._sim.now)
         self._missed_announces = 0
 
     def _reroot(self, new_root: str) -> None:
@@ -320,6 +378,22 @@ class SyncDomain:
 
     def max_abs_offset_ns(self) -> int:
         return max(abs(v) for v in self.offsets_ns().values())
+
+    def failover_latencies_ns(self) -> List[int]:
+        """Detection+election latency of each healed grandmaster failure.
+
+        Pairs every recorded GM failure with the first election at or after
+        it; failures not yet healed contribute nothing.  The announce
+        timeout dominates: with gPTP defaults this is ~3 sync intervals.
+        """
+        latencies: List[int] = []
+        elections = list(self.election_times_ns)
+        for failed_at in self.gm_failure_times_ns:
+            healed = [t for t in elections if t >= failed_at]
+            if healed:
+                latencies.append(healed[0] - failed_at)
+                elections.remove(healed[0])
+        return latencies
 
     def all_locked(self) -> bool:
         return all(

@@ -37,6 +37,11 @@ class PiServo:
     kp: float = 0.7
     ki: float = 0.3
     step_threshold_ns: int = 10_000
+    #: Anti-windup clamp on the integral accumulator (microseconds of
+    #: offset-sum).  During a grandmaster outage the last pre-outage
+    #: offsets would otherwise keep integrating into a standing rate bias
+    #: that slews the clock far off budget on reacquisition.
+    integral_limit_us: float = 50.0
     _integral_us: float = 0.0
     _synced_once: bool = False
     offsets_seen: List[int] = field(default_factory=list)
@@ -65,6 +70,11 @@ class PiServo:
             return
         offset_us = offset_ns / 1000.0
         self._integral_us += offset_us
+        limit = self.integral_limit_us
+        if self._integral_us > limit:
+            self._integral_us = limit
+        elif self._integral_us < -limit:
+            self._integral_us = -limit
         pi_ppm = -(self.kp * offset_us + self.ki * self._integral_us)
         self.clock.adjust_rate(
             self.clock.rate_correction_ppm + syntonize_ppm + pi_ppm

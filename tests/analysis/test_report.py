@@ -70,3 +70,74 @@ class TestSeries:
         assert "Fig 7(a)" in text
         assert "125.00" in text  # mean in us
         assert "0.0000" in text  # loss
+
+
+class TestRenderMetrics:
+    def test_empty_histogram_renders_dashes(self):
+        """A registered histogram with zero observations must render '-'
+        for every percentile column instead of crashing on None."""
+        from repro.analysis.report import render_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.histogram("latency_ns", buckets=(10, 100)).labels()
+        registry.counter("frames_total").inc()
+        text = render_metrics(registry.snapshot())
+        histogram_line = next(
+            line for line in text.splitlines()
+            if line.startswith("latency_ns")
+        )
+        # count 0, then mean 0.00, then p50/p95/p99/max all '-'
+        assert histogram_line.split()[-4:] == ["-", "-", "-", "-"]
+        assert "frames_total" in text
+
+    def test_no_metrics_placeholder(self):
+        from repro.analysis.report import render_metrics
+
+        assert render_metrics({}) == "(no metrics recorded)"
+
+
+class TestRenderFaults:
+    def _report(self, **overrides):
+        from repro.faults.injector import FaultReport
+
+        report = FaultReport(
+            timeline=[{"time_ns": 10_000_000, "kind": "link_down",
+                       "target": "sw0.p0", "detail": "sw0.p0->sw1 down"}],
+            links={"sw0.p0->sw1": {"carried": 8, "blackholed": 16,
+                                   "fault_lost": 0, "fault_corrupted": 0,
+                                   "down_count": 1}},
+            frer={"listener": {"eliminated": 8, "rogue": 0}},
+        )
+        for key, value in overrides.items():
+            setattr(report, key, value)
+        return report
+
+    def test_sections_and_totals(self):
+        from repro.analysis.report import render_faults
+
+        text = render_faults(self._report())
+        assert "Fault timeline" in text
+        assert "sw0.p0->sw1 down" in text
+        assert "Faulted links" in text
+        assert "FRER recovery" in text
+        assert "Frames lost in failover: 16" in text
+        assert "eliminated 8 duplicates" in text
+
+    def test_gptp_line(self):
+        from repro.analysis.report import render_faults
+
+        text = render_faults(self._report(gptp={
+            "elections": 1, "failover_latencies_ns": [95_000_000],
+            "grandmaster": "sw1", "max_abs_offset_ns": 40,
+        }))
+        assert "95.00ms failover" in text
+        assert "grandmaster now sw1" in text
+
+    def test_empty_timeline_placeholder(self):
+        from repro.analysis.report import render_faults
+        from repro.faults.injector import FaultReport
+
+        text = render_faults(FaultReport())
+        assert "(no events fired)" in text
+        assert "Frames lost in failover: 0" in text

@@ -1,0 +1,220 @@
+"""Fault injection end-to-end: resilience claims under scripted faults.
+
+The headline pair: a FRER ring survives a single trunk cut with zero
+stream loss, while a star under the same cut loses frames and fails its
+SLO -- with the losses attributed to the new drop reasons throughout the
+observability stack.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.export import result_summary
+from repro.network.scenario import ScenarioSpec
+from repro.traffic.flows import TrafficClass
+
+
+def _ring_doc(**faults_events):
+    events = faults_events.get("events") or [
+        {"kind": "link_down", "link": "sw0.p0", "at_us": 10_000},
+    ]
+    return {
+        "name": "faults-frer-ring",
+        "topology": {"kind": "frer_ring", "switch_count": 6,
+                     "talkers": ["talker0"], "listener": "listener"},
+        "flows": {"ts_count": 8, "period_us": 10000, "size_bytes": 64},
+        "config": "derive",
+        "slot_us": 62.5,
+        "duration_ms": 30,
+        "seed": 7,
+        "frer_ts": True,
+        "slo": {"class": {"TS": {"max_loss": 0.0}}},
+        "faults": {"events": events},
+    }
+
+
+def _star_doc():
+    return {
+        "name": "faults-star",
+        "topology": {"kind": "star", "talkers": ["talker0"],
+                     "listener": "listener"},
+        "flows": {"ts_count": 8, "period_us": 10000, "size_bytes": 64},
+        "config": "derive",
+        "slot_us": 62.5,
+        "duration_ms": 30,
+        "seed": 7,
+        "slo": {"class": {"TS": {"max_loss": 0.0}}},
+        "faults": {"events": [
+            {"kind": "link_down", "link": "leaf0.p0", "at_us": 10_000},
+        ]},
+    }
+
+
+class TestFrerRingSurvivesCut:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ScenarioSpec.from_dict(_ring_doc()).run()
+
+    def test_zero_stream_loss(self, result):
+        assert result.ts_loss == 0.0
+        assert result.slo is not None and result.slo.passed
+
+    def test_fault_actually_destroyed_frames(self, result):
+        report = result.faults
+        assert report is not None
+        stats = report.links["sw0.p0->sw1"]
+        assert stats["blackholed"] > 0
+        assert report.frames_lost_in_failover == stats["blackholed"]
+
+    def test_frer_eliminated_surviving_duplicates(self, result):
+        report = result.faults
+        # before the cut both copies arrive; the second is eliminated
+        assert report.frer["listener"]["eliminated"] > 0
+        assert report.frer["listener"]["rogue"] == 0
+
+    def test_drop_report_separates_elimination_from_loss(self, result):
+        text = result.drop_report()
+        assert "Link losses" in text
+        assert "FRER elimination (not loss)" in text
+
+    def test_summary_embeds_fault_digest(self, result):
+        summary = result_summary(result)
+        assert summary["faults"]["frames_lost_in_failover"] > 0
+        assert summary["classes"]["TS"]["loss"] == 0.0
+
+
+class TestStarLosesUnderSameCut:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ScenarioSpec.from_dict(_star_doc()).run()
+
+    def test_stream_loss_and_slo_failure(self, result):
+        assert result.ts_loss > 0.0
+        assert result.slo is not None and not result.slo.passed
+
+    def test_loss_attributed_to_blackhole(self, result):
+        stats = result.faults.links["leaf0.p0->listener"]
+        assert stats["blackholed"] > 0
+        # switch counters show no drops: the link ate the frames
+        assert all(c["dropped_total"] == 0
+                   for c in result.counters().values())
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def digest():
+            result = ScenarioSpec.from_dict(_ring_doc()).run()
+            latencies = {
+                flow.flow_id: list(
+                    result.analyzer.records[flow.flow_id].latencies_ns
+                )
+                for flow in result.flows.ts_flows
+            }
+            return json.dumps(
+                {"latencies": latencies,
+                 "faults": result.faults.as_dict(),
+                 "counters": result.counters()},
+                sort_keys=True,
+            )
+
+        assert digest() == digest()
+
+    def test_partial_loss_burst_deterministic(self):
+        doc = _ring_doc(events=[
+            {"kind": "loss_burst", "link": "sw0.p0", "at_us": 2_000,
+             "duration_us": 20_000, "rate": 0.5},
+        ])
+
+        def lost():
+            result = ScenarioSpec.from_dict(doc).run()
+            return result.faults.links["sw0.p0->sw1"]["fault_lost"]
+
+        first, second = lost(), lost()
+        assert first == second > 0
+
+
+class TestCorruptionDrops:
+    def test_corrupt_frames_counted_at_ingress(self):
+        doc = _star_doc()
+        doc["faults"] = {"events": [
+            {"kind": "corrupt_burst", "link": "core.p0", "at_us": 5_000,
+             "duration_us": 20_000},
+        ]}
+        result = ScenarioSpec.from_dict(doc).run()
+        corrupted = result.faults.links["core.p0->leaf0"]["fault_corrupted"]
+        assert corrupted > 0
+        assert result.counters()["leaf0"]["dropped_corrupt"] == corrupted
+        assert "corrupt" in result.drop_report()
+        assert result.ts_loss > 0.0
+
+
+class TestGrandmasterFailover:
+    def test_gm_death_triggers_election(self):
+        doc = _ring_doc(events=[
+            {"kind": "gm_down", "node": "sw0", "at_us": 1_000},
+        ])
+        doc["enable_gptp"] = True
+        doc["duration_ms"] = 300  # > announce timeout (3 x 31.25 ms)
+        result = ScenarioSpec.from_dict(doc).run()
+        gptp = result.faults.gptp
+        assert gptp["elections"] >= 1
+        assert gptp["grandmaster"] != "sw0"
+        latencies = gptp["failover_latencies_ns"]
+        assert len(latencies) == 1
+        # detection needs 3 missed announce intervals of 31.25 ms
+        assert 90_000_000 <= latencies[0] <= 200_000_000
+        # the dataplane rode through the control-plane outage
+        assert result.ts_loss == 0.0
+
+
+class TestFaultsCli:
+    def _write(self, tmp_path, doc):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_surviving_ring_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["faults", str(self._write(tmp_path, _ring_doc()))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fault timeline" in out and "SLO: PASS" in out
+
+    def test_failing_star_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["faults", str(self._write(tmp_path, _star_doc()))])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SLO: FAIL" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["faults", "--json",
+                     str(self._write(tmp_path, _ring_doc()))])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["faults"]["frames_lost_in_failover"] > 0
+        assert payload["slo"]["passed"] is True
+
+    def test_scenario_without_faults_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _ring_doc()
+        del doc["faults"]
+        code = main(["faults", str(self._write(tmp_path, doc))])
+        assert code == 2
+        assert "declares no 'faults'" in capsys.readouterr().err
+
+    def test_bad_fault_target_reports_valid_names(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _ring_doc(events=[
+            {"kind": "link_down", "link": "nope", "at_us": 1},
+        ])
+        code = main(["faults", str(self._write(tmp_path, doc))])
+        assert code == 2
+        assert "no link matches" in capsys.readouterr().err

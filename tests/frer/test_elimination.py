@@ -53,6 +53,35 @@ class TestSequenceRecovery:
         assert recovery.accept(999)   # within new window, never seen
         assert not recovery.accept(1000)
 
+    def test_huge_jump_keeps_history_bounded(self):
+        """A delta far beyond the window must not materialize a
+        delta-bit shift mask (regression: seq jumps used to build
+        unbounded integers)."""
+        recovery = SequenceRecovery(history_length=64)
+        recovery.accept(0)
+        assert recovery.accept(10**9)
+        assert recovery._history.bit_length() <= 64
+        assert not recovery.accept(10**9)          # replica of new head
+        assert recovery.accept(10**9 - 1)          # inside the new window
+
+    def test_straggler_at_exact_window_edge_is_rogue(self):
+        recovery = SequenceRecovery(history_length=8)
+        recovery.accept(100)
+        # lag == history_length: one past the oldest trackable slot
+        assert not recovery.accept(100 - 9)
+        assert recovery.rogue == 1
+        # lag == history_length - 1: the oldest trackable slot, accepted
+        assert recovery.accept(100 - 8)
+        assert recovery.rogue == 1
+
+    def test_jump_of_exactly_history_length(self):
+        recovery = SequenceRecovery(history_length=8)
+        recovery.accept(0)
+        recovery.accept(8)           # delta == history_length: 0 ages out
+        assert recovery.accept(1)    # lag 7, never seen
+        assert not recovery.accept(8)
+        assert recovery._history.bit_length() <= 8
+
     def test_invalid_args(self):
         with pytest.raises(ConfigurationError):
             SequenceRecovery(history_length=0)

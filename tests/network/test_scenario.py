@@ -238,3 +238,52 @@ class TestStrictValidation:
         from repro.core.errors import SpecValidationError
 
         assert issubclass(SpecValidationError, ConfigurationError)
+
+
+class TestFaultsStanza:
+    def _faults(self):
+        return {"events": [
+            {"kind": "link_down", "link": "sw0.p0", "at_us": 5_000,
+             "duration_us": 2_000},
+        ]}
+
+    def test_faults_key_parses_and_round_trips(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(faults=self._faults()))
+        assert spec.faults == self._faults()
+        assert "faults" not in spec.extras  # not splatted into Testbed
+        assert ScenarioSpec.from_dict(spec.to_dict()).faults == self._faults()
+
+    def test_build_fault_plan(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(faults=self._faults()))
+        plan = spec.build_fault_plan()
+        assert plan is not None and len(plan) == 1
+        assert plan.events[0].kind == "link_down"
+        assert ScenarioSpec.from_dict(_spec_dict()).build_fault_plan() is None
+
+    def test_invalid_faults_rejected_strictly(self):
+        from repro.core.errors import SpecValidationError
+
+        bad = {"events": [{"kind": "link_dwn", "link": "x", "at_us": 1}]}
+        with pytest.raises(SpecValidationError,
+                           match="did you mean 'link_down'"):
+            ScenarioSpec.from_dict(_spec_dict(faults=bad))
+
+    def test_run_attaches_fault_report(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(faults=self._faults()))
+        result = spec.run()
+        assert result.faults is not None
+        assert [e["kind"] for e in result.faults.timeline] == [
+            "link_down", "link_down",   # applied, then auto-restored
+        ]
+
+    def test_run_without_stanza_has_no_report(self):
+        result = ScenarioSpec.from_dict(_spec_dict()).run()
+        assert result.faults is None
+
+    def test_frer_ring_kind_available(self):
+        spec = ScenarioSpec.from_dict(_spec_dict(
+            topology={"kind": "frer_ring", "switch_count": 4,
+                      "talkers": ["talker0"], "listener": "listener"},
+        ))
+        topo = spec.build_topology()
+        assert len(topo.attachments) == 2

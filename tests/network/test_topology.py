@@ -133,3 +133,58 @@ class TestPaths:
     def test_hosts_listing(self):
         topo = ring_topology(talkers=["a", "b"])
         assert set(topo.hosts) == {"a", "b", "listener"}
+
+
+class TestFrerRing:
+    def _topo(self, k=6):
+        from repro.network.topology import frer_ring_topology
+
+        return frer_ring_topology(switch_count=k)
+
+    def test_default_shape(self):
+        topo = self._topo()
+        assert len(topo.switches) == 6
+        # sw0 feeds both arcs; everyone else forwards on one port
+        assert topo.switch_ports["sw0"] == 2
+        assert all(topo.switch_ports[s] == 1 for s in topo.switches
+                   if s != "sw0")
+        # the listener hangs off both end-of-arc switches
+        assert len(topo.attachments) == 2
+        assert {a.host for a in topo.attachments} == {"listener"}
+        assert len({a.switch for a in topo.attachments}) == 2
+
+    def test_arcs_are_node_disjoint_after_sw0(self):
+        topo = self._topo()
+        onward = {t.src: t.dst for t in topo.trunks if t.src != "sw0"}
+        starts = {t.src_port: t.dst for t in topo.trunks
+                  if t.src == "sw0"}
+
+        def arc(first):
+            nodes, current = [first], first
+            while current in onward:
+                current = onward[current]
+                nodes.append(current)
+            return nodes
+
+        arc_a, arc_b = arc(starts[0]), arc(starts[1])
+        assert not set(arc_a) & set(arc_b)
+        # each arc terminates at one of the listener's switches
+        assert {arc_a[-1], arc_b[-1]} == {a.switch
+                                          for a in topo.attachments}
+
+    def test_odd_switch_count(self):
+        topo = self._topo(5)
+        assert len(topo.switches) == 5
+        assert len(topo.attachments) == 2
+
+    def test_minimum_size(self):
+        import pytest as _pytest
+
+        from repro.core.errors import TopologyError as _TopologyError
+        from repro.network.topology import frer_ring_topology
+
+        with _pytest.raises(_TopologyError):
+            frer_ring_topology(switch_count=2)
+
+    def test_validates(self):
+        self._topo().validate()

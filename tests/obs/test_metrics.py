@@ -134,6 +134,17 @@ class TestHistogram:
         series = Histogram("h", buckets=(10,)).labels()
         assert series.quantile(0.5) is None
 
+    def test_empty_snapshot_percentiles_all_none(self):
+        """A registered-but-never-observed histogram must snapshot with
+        every percentile (and min/max) as None, not zero."""
+        histogram = Histogram("h", buckets=(10, 100))
+        histogram.labels()
+        snapshot = histogram.snapshot()["series"][0]
+        assert snapshot["count"] == 0
+        for key in ("p50", "p95", "p99", "min", "max"):
+            assert snapshot[key] is None, key
+        assert snapshot["mean"] == 0.0
+
     def test_snapshot_carries_percentiles(self):
         histogram = Histogram("h", buckets=(10, 100, 1000))
         series = histogram.labels()

@@ -11,8 +11,9 @@ class TestSwitchCounters:
             dropped_gate=3,
             dropped_tail=4,
             dropped_no_buffer=5,
+            dropped_corrupt=6,
         )
-        assert counters.dropped_total == 15
+        assert counters.dropped_total == 21
 
     def test_note_enqueue_accumulates_per_queue(self):
         counters = SwitchCounters()
@@ -30,7 +31,7 @@ class TestSwitchCounters:
         assert set(data) == {
             "received", "forwarded", "transmitted", "dropped_unknown_dst",
             "dropped_policer", "dropped_gate", "dropped_tail",
-            "dropped_no_buffer", "dropped_total",
+            "dropped_no_buffer", "dropped_corrupt", "dropped_total",
         }
 
     def test_as_dict_includes_per_queue_enqueued(self):

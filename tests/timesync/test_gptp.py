@@ -210,3 +210,96 @@ class TestBmcaFailover:
         assert domain.grandmaster.name == "sw1"
         # sw2 reaches sw1 directly; the ring link is available if needed
         assert domain.nodes["sw2"].parent is domain.nodes["sw1"]
+
+
+class TestFailoverObservability:
+    def _domain(self, sim):
+        rng = random.Random(3)
+        domain = SyncDomain(sim, GptpConfig(sync_interval_ns=10_000_000))
+        domain.add_node("gm", LocalClock(sim), priority=0)
+        prev = "gm"
+        for i in range(3):
+            clock = LocalClock(sim, drift_ppm=rng.uniform(-20, 20),
+                               offset_ns=rng.randrange(-100_000, 100_000))
+            domain.add_node(f"sw{i}", clock, parent=prev,
+                            link_delay_ns=500, priority=i + 1)
+            prev = f"sw{i}"
+        return domain
+
+    def test_failure_and_election_timestamps_recorded(self):
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.start()
+        sim.run(until=1_000_000_000)
+        domain.fail_node("gm")
+        failed_at = sim.now
+        sim.run(until=2_000_000_000)
+        assert domain.gm_failure_times_ns == [failed_at]
+        assert len(domain.election_times_ns) == 1
+        assert domain.election_times_ns[0] >= failed_at
+
+    def test_failover_latency_pairs_failure_with_election(self):
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.start()
+        sim.run(until=1_000_000_000)
+        domain.fail_node("gm")
+        sim.run(until=2_000_000_000)
+        latencies = domain.failover_latencies_ns()
+        assert len(latencies) == 1
+        # detection takes announce_timeout_intervals sync intervals
+        assert latencies[0] >= 3 * 10_000_000
+
+    def test_non_gm_failure_records_nothing(self):
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.start()
+        sim.run(until=1_000_000_000)
+        domain.fail_node("sw2")  # a leaf, not the acting grandmaster
+        sim.run(until=2_000_000_000)
+        assert domain.gm_failure_times_ns == []
+        assert domain.failover_latencies_ns() == []
+
+    def test_restored_node_grafts_as_slave(self):
+        """A restored non-best node must rejoin under a live alternate
+        neighbor and re-discipline, not stay wired to its dead parent."""
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.add_link("gm", "sw2", link_delay_ns=500)  # close the ring
+        domain.start()
+        sim.run(until=1_000_000_000)
+        domain.fail_node("sw1")   # mid-chain: sw2's parent dies with it
+        domain.fail_node("sw2")
+        sim.run(until=1_500_000_000)
+        domain.restore_node("sw2")
+        node = domain.nodes["sw2"]
+        assert node.parent is domain.nodes["gm"]  # the live ring neighbor
+        assert node in node.parent.children
+        assert node not in domain.nodes["sw1"].children
+        sim.run(until=4_000_000_000)
+        offsets = domain.offsets_ns()
+        assert abs(offsets["sw2"]) < 100  # re-locked to the domain
+
+    def test_restore_with_no_live_neighbor_keeps_free_running(self):
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.start()
+        sim.run(until=1_000_000_000)
+        domain.fail_node("sw1")
+        domain.fail_node("sw2")
+        sim.run(until=1_500_000_000)
+        domain.restore_node("sw2")  # only neighbor (sw1) is still dead
+        # no live adjacency: the node waits for the topology to heal, and
+        # the sync cascade must not resurrect it through its dead parent
+        sync_count = domain.nodes["sw2"].sync_count
+        sim.run(until=2_500_000_000)
+        assert domain.nodes["sw2"].sync_count == sync_count
+
+    def test_restore_is_idempotent_for_live_node(self):
+        sim = Simulator()
+        domain = self._domain(sim)
+        domain.start()
+        sim.run(until=500_000_000)
+        parent_before = domain.nodes["sw1"].parent
+        domain.restore_node("sw1")  # never failed: must be a no-op
+        assert domain.nodes["sw1"].parent is parent_before

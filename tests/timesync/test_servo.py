@@ -68,3 +68,55 @@ class TestSlewStage:
             servo.observe(0)
         servo.observe(99_999)
         assert not servo.locked
+
+
+class TestAntiWindup:
+    def test_integral_clamped_under_sustained_offset(self):
+        """Repeated sub-threshold offsets must not wind the integral past
+        the clamp (regression: holdover used to accumulate a standing
+        rate bias)."""
+        sim = Simulator()
+        clock = LocalClock(sim)
+        servo = PiServo(clock, integral_limit_us=50.0)
+        servo.observe(0)  # step stage consumed
+        for _ in range(500):
+            servo.observe(9_000)   # just below the 10 us step threshold
+        assert abs(servo._integral_us) <= 50.0
+
+    def test_step_resets_integral(self):
+        sim = Simulator()
+        clock = LocalClock(sim)
+        servo = PiServo(clock)
+        servo.observe(0)
+        for _ in range(20):
+            servo.observe(5_000)
+        assert servo._integral_us != 0.0
+        servo.observe(1_000_000)   # gross error: step path
+        assert servo._integral_us == 0.0
+
+    def test_holdover_then_reacquire_converges(self):
+        """A grandmaster outage feeds the servo a stale constant offset;
+        on reacquisition the loop must re-converge inside the paper's
+        50 ns budget instead of slewing off on the wound-up integral."""
+        sim = Simulator()
+        clock = LocalClock(sim, drift_ppm=10)
+        servo = PiServo(clock)
+        interval = 31_250_000
+
+        def advance():
+            sim.schedule(interval, lambda: None)
+            sim.run()
+
+        for _ in range(60):   # normal discipline: locked
+            servo.observe(clock.offset_from_perfect(),
+                          rate_ratio=1.0 / float(clock.rate))
+            advance()
+        assert abs(clock.offset_from_perfect()) < 50
+        for _ in range(30):   # outage: stale measurement, no rate ratio
+            servo.observe(8_000)
+            advance()
+        for _ in range(60):   # reacquired
+            servo.observe(clock.offset_from_perfect(),
+                          rate_ratio=1.0 / float(clock.rate))
+            advance()
+        assert abs(clock.offset_from_perfect()) < 50
