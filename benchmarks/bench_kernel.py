@@ -5,6 +5,10 @@ Not a paper artifact -- these keep the event kernel, BRAM allocator and ITP
 planner honest performance-wise, since every experiment above is built on
 them.
 
+The measurement core lives in :mod:`repro.bench.kernel` (so ``repro bench
+check`` can gate it without shelling out); this script is the human-facing
+CLI plus the pytest-benchmark tests.
+
 Two harnesses share this file:
 
 * pytest-benchmark tests (``make bench``) -- multi-round statistical timing
@@ -31,8 +35,8 @@ Usage::
     python benchmarks/bench_kernel.py --smoke --check BENCH_kernel.json
 
 ``--check`` compares the measured throughputs against the committed
-baseline's ``after`` numbers and exits 1 on a >25% regression (tunable with
-``--tolerance``) -- the CI guard against quietly re-pessimizing the kernel.
+baseline and exits 1 on a >25% regression (tunable with ``--tolerance``);
+CI runs the same gate as ``repro bench check --suite kernel --smoke``.
 """
 
 from __future__ import annotations
@@ -40,200 +44,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench.kernel import (                           # noqa: E402
+    BEFORE,
+    bench_cancel_heavy,
+    bench_chained,
+    measure,
+)
 from repro.core import bram                                # noqa: E402
 from repro.core.units import ms                            # noqa: E402
 from repro.cqf.itp import ItpPlanner                       # noqa: E402
 from repro.cqf.schedule import CqfSchedule                 # noqa: E402
-from repro.network.scenario import ScenarioSpec            # noqa: E402
-from repro.sim.kernel import Simulator                     # noqa: E402
 from repro.traffic.iec60802 import production_cell_flows   # noqa: E402
-
-#: Pre-overhaul numbers (dataclass-event kernel, per-flip gate engine),
-#: captured at the seed commit on the same machine that produced the
-#: committed BENCH_kernel.json -- the "before" half of the before/after
-#: comparison.  Refresh together with the baseline (see docs/performance.md).
-BEFORE = {
-    "chained": {"events_per_s": 676_385.3},
-    "cancel_heavy": {"scheduled_per_s": 552_809.9},
-    "star_scenario": {"wall_s": 1.1771},
-}
-
-#: Workloads whose throughput the --check regression gate watches.
-GATED = (
-    ("chained", "events_per_s"),
-    ("chained_post", "events_per_s"),
-    ("cancel_heavy", "scheduled_per_s"),
-)
-
-
-# --------------------------------------------------------------- workloads
-
-
-def bench_chained(n: int, use_post: bool) -> dict:
-    """Self-rescheduling event chain: pure calendar push/pop throughput."""
-    sim = Simulator()
-    remaining = [n]
-    if use_post:
-        def tick():
-            remaining[0] -= 1
-            if remaining[0] > 0:
-                sim.post(10, tick)
-        sim.post(10, tick)
-    else:
-        def tick():
-            remaining[0] -= 1
-            if remaining[0] > 0:
-                sim.schedule(10, tick)
-        sim.schedule(10, tick)
-    start = time.perf_counter()
-    sim.run()
-    elapsed = time.perf_counter() - start
-    return {
-        "events": sim.events_executed,
-        "events_per_s": sim.events_executed / elapsed,
-    }
-
-
-def bench_cancel_heavy(n: int) -> dict:
-    """Schedule 4, cancel 3 per event: the cancellation-storm profile."""
-    sim = Simulator()
-    remaining = [n]
-
-    def tick():
-        remaining[0] -= 1
-        handles = [sim.schedule(10 + i, lambda: None) for i in range(3)]
-        for handle in handles:
-            handle.cancel()
-        if remaining[0] > 0:
-            sim.schedule(10, tick)
-
-    sim.schedule(10, tick)
-    start = time.perf_counter()
-    sim.run()
-    elapsed = time.perf_counter() - start
-    return {
-        "scheduled": sim.stats.scheduled,
-        "scheduled_per_s": sim.stats.scheduled / elapsed,
-        "compacted": sim.stats.compacted,
-    }
-
-
-def bench_star_scenario(ts_count: int, duration_ms: float) -> dict:
-    """End-to-end ScenarioSpec.run() on a star network."""
-    spec = ScenarioSpec.from_dict({
-        "name": "star-bench",
-        "topology": {
-            "kind": "star",
-            "talkers": ["talker0", "talker1"],
-            "listener": "listener",
-        },
-        "flows": {
-            "ts_count": ts_count,
-            "period_us": 10_000,
-            "size_bytes": 64,
-            "rc_mbps": 100,
-            "be_mbps": 100,
-        },
-        "duration_ms": duration_ms,
-    })
-    start = time.perf_counter()
-    result = spec.run()
-    elapsed = time.perf_counter() - start
-    return {
-        "wall_s": elapsed,
-        "events_per_s": result.sim_stats["fired"] / elapsed,
-        "sim_stats": result.sim_stats,
-    }
-
-
-def measure(smoke: bool, repeats: int) -> dict:
-    samplers = _samplers(smoke)
-
-    def best(name):
-        fn, key = samplers[name]
-        fn()  # warm-up: first run pays allocator/cache/branch warmup
-        samples = [fn() for _ in range(repeats)]
-        return max(samples, key=lambda s: s[key])
-
-    workloads = {
-        name: best(name)
-        for name in ("chained", "chained_post", "cancel_heavy")
-    }
-    star_fn = samplers["star_scenario"][0]
-    star = [star_fn() for _ in range(repeats)]
-    workloads["star_scenario"] = min(star, key=lambda s: s["wall_s"])
-    return workloads
-
-
-def _samplers(smoke: bool) -> dict:
-    """name -> (callable, throughput key) at the given scale."""
-    chained_n = 30_000 if smoke else 200_000
-    cancel_n = 8_000 if smoke else 50_000
-    star_flows = 32 if smoke else 128
-    star_ms = 5 if smoke else 40
-    return {
-        "chained": (
-            lambda: bench_chained(chained_n, use_post=False), "events_per_s"
-        ),
-        "chained_post": (
-            lambda: bench_chained(chained_n, use_post=True), "events_per_s"
-        ),
-        "cancel_heavy": (
-            lambda: bench_cancel_heavy(cancel_n), "scheduled_per_s"
-        ),
-        "star_scenario": (
-            lambda: bench_star_scenario(star_flows, star_ms), "events_per_s"
-        ),
-    }
-
-
-def check(
-    workloads: dict, baseline_path: Path, tolerance: float, smoke: bool
-) -> int:
-    """Exit status 1 when any gated throughput regressed past *tolerance*.
-
-    Smoke runs compare against the baseline's ``smoke_reference`` section
-    (same workload sizes); per-event cost is scale-dependent, so comparing
-    a smoke run against full-scale numbers would always "regress".
-
-    Shared-runner noise protection: a workload that looks regressed is
-    re-measured a few more times and judged on the best sample seen -- a
-    real regression cannot luck its way back above the bar, a descheduled
-    burst usually can.
-    """
-    baseline = json.loads(baseline_path.read_text())
-    if smoke:
-        reference = baseline.get("smoke_reference", {})
-    else:
-        reference = baseline.get("after", {})
-    samplers = _samplers(smoke)
-    failures = []
-    for name, key in GATED:
-        ref = reference.get(name, {}).get(key)
-        if ref is None:
-            continue
-        got = workloads[name][key]
-        retries = 0
-        while got / ref < 1.0 - tolerance and retries < 4:
-            got = max(got, samplers[name][0]()[key])
-            retries += 1
-        ratio = got / ref
-        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
-        print(f"# check {name}.{key}: {got:,.0f} vs baseline {ref:,.0f} "
-              f"({(ratio - 1) * 100:+.1f}%, {retries} remeasure(s)) {status}",
-              file=sys.stderr)
-        if ratio < 1.0 - tolerance:
-            failures.append(name)
-    if failures:
-        print(f"# throughput regression >{tolerance:.0%} in: "
-              f"{', '.join(failures)}", file=sys.stderr)
-        return 1
-    return 0
 
 
 def main(argv=None) -> int:
@@ -294,7 +119,10 @@ def main(argv=None) -> int:
         args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"# wrote {args.output}", file=sys.stderr)
     if args.check:
-        return check(workloads, args.check, args.tolerance, args.smoke)
+        from repro.bench.check import check_kernel
+
+        return check_kernel(args.check, smoke=args.smoke,
+                            tolerance=args.tolerance, repeats=repeats)
     return 0
 
 

@@ -11,6 +11,10 @@ wall-clock time per mode:
   sampler: everything on.  Expected to cost real time; the point of the
   number is knowing *how much*.
 
+The measurement core lives in :mod:`repro.bench.obs` (so ``repro bench
+check --suite obs`` can gate the recorded overhead without shelling out);
+this script is the human-facing CLI.
+
 Usage::
 
     python benchmarks/bench_obs_overhead.py               # full measurement
@@ -18,80 +22,20 @@ Usage::
     python benchmarks/bench_obs_overhead.py --output BENCH_obs.json
 
 The JSON trajectory file records per-mode timings plus the metrics/full
-overhead ratios so successive runs are comparable.  Standalone by design
-(argparse + time.perf_counter, no pytest-benchmark) so CI can smoke it in
-seconds.
+overhead ratios so successive runs are comparable.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import statistics
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.presets import customized_config          # noqa: E402
-from repro.core.units import mbps, ms, us                 # noqa: E402
-from repro.network.testbed import Testbed                 # noqa: E402
-from repro.network.topology import ring_topology          # noqa: E402
-from repro.obs.flowspans import FlowSpanRecorder          # noqa: E402
-from repro.obs.metrics import MetricsRegistry             # noqa: E402
-from repro.obs.timeseries import TimeSeriesSampler        # noqa: E402
-from repro.traffic.iec60802 import (                      # noqa: E402
-    background_flows,
-    production_cell_flows,
-)
-
-MODES = ("off", "metrics", "full")
-
-
-def _build_flows(ts_count: int):
-    flows = production_cell_flows(["talker0"], "listener",
-                                  flow_count=ts_count)
-    for flow in background_flows(["talker0"], "listener",
-                                 mbps(100), mbps(100)):
-        flows.add(flow)
-    return flows
-
-
-def _run_once(mode: str, ts_count: int, duration_ns: int) -> float:
-    topology = ring_topology(switch_count=3, talkers=["talker0"])
-    flows = _build_flows(ts_count)
-    config = customized_config(topology.max_enabled_ports)
-    registry = MetricsRegistry() if mode in ("metrics", "full") else None
-    spans = FlowSpanRecorder() if mode == "full" else None
-    testbed = Testbed(topology, config, flows, slot_ns=62_500,
-                      metrics=registry, spans=spans)
-    if mode == "full":
-        sampler = TimeSeriesSampler(registry, testbed.sim,
-                                    interval_ns=us(1000))
-        sampler.start()
-    testbed.build()  # outside the timer: measure the event loop, not setup
-    start = time.perf_counter()
-    testbed.run(duration_ns=duration_ns)
-    return time.perf_counter() - start
-
-
-def measure(ts_count: int, duration_ns: int, repeats: int) -> dict:
-    results = {}
-    for mode in MODES:
-        _run_once(mode, ts_count, duration_ns)  # warm-up (imports, caches)
-        times = [
-            _run_once(mode, ts_count, duration_ns) for _ in range(repeats)
-        ]
-        results[mode] = {
-            "best_s": min(times),
-            "mean_s": statistics.mean(times),
-            "runs": times,
-        }
-    baseline = results["off"]["best_s"]
-    for mode in MODES:
-        results[mode]["vs_off"] = results[mode]["best_s"] / baseline
-    return results
+from repro.bench.obs import MODES, measure                # noqa: E402
+from repro.core.units import ms                           # noqa: E402
 
 
 def main(argv=None) -> int:

@@ -31,18 +31,35 @@ def render_table(
     rows: Sequence[Sequence[str]],
     title: Optional[str] = None,
 ) -> str:
-    """Align *rows* under *headers* with two-space gutters."""
+    """Align *rows* under *headers* with two-space gutters.
+
+    Column widths come from the data as well as the headers, so a cell
+    longer than its header (a long flow name in a metrics label, say)
+    widens its column instead of breaking the alignment; rows with more
+    cells than headers get extra unlabeled columns rather than silent
+    truncation.  Lines carry no trailing padding.
+    """
     widths = [len(h) for h in headers]
     for row in rows:
         for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    padded_headers = list(headers) + [""] * (len(widths) - len(headers))
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(
+        "  ".join(
+            h.ljust(w) for h, w in zip(padded_headers, widths)
+        ).rstrip()
+    )
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,37 @@
+"""Tracked benchmark workloads and the regression gate.
+
+The measurement cores of the ``benchmarks/`` scripts live here so the CLI
+(``repro bench check``) and CI can gate performance without shelling out to
+standalone scripts:
+
+* :mod:`repro.bench.kernel` -- the kernel-bound workload trio behind
+  ``BENCH_kernel.json`` (chained events, post fast path, cancellation
+  storm) plus the end-to-end star scenario.
+* :mod:`repro.bench.obs` -- the observability-overhead measurement behind
+  ``BENCH_obs.json`` (off / metrics / full instrumentation modes).
+* :mod:`repro.bench.check` -- the noise-aware trajectory checker: compare
+  a fresh measurement against the committed baselines and exit nonzero on
+  regression.
+
+``benchmarks/bench_kernel.py`` and ``benchmarks/bench_obs_overhead.py``
+remain the human-facing CLIs (and keep the pytest-benchmark tests); they
+are thin delegates over these modules.
+"""
+
+from .kernel import (
+    BEFORE,
+    GATED,
+    bench_cancel_heavy,
+    bench_chained,
+    bench_star_scenario,
+)
+from .obs import MODES
+
+__all__ = [
+    "BEFORE",
+    "GATED",
+    "MODES",
+    "bench_chained",
+    "bench_cancel_heavy",
+    "bench_star_scenario",
+]

@@ -13,11 +13,18 @@ count produces the same row set; only JSONL file order varies with
 completion order.  The aggregate re-sorts by run index first and is
 therefore byte-identical across worker counts -- the property
 ``benchmarks/bench_campaign.py`` asserts while measuring scaling.
+
+Observability (PR 6) threads through here without touching that contract:
+the *run ledger* records only deterministic identity/outcome fields, the
+wall-clock-bearing telemetry each worker measures rides back on the row's
+``_telemetry`` side channel and is stripped before the row is written or
+aggregated, and heartbeats stream to a separate status file.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Callable, Dict, IO, List, Optional, Union
@@ -48,7 +55,28 @@ class Campaign:
         How many times a non-``ok`` run is re-executed before its last row
         is accepted.  Deterministic failures fail identically every
         attempt; the bound exists for runs killed by environmental noise
-        (timeouts on a loaded box).
+        (timeouts on a loaded box).  Earlier attempts are never silently
+        overwritten: the accepted row carries ``attempts`` plus an
+        ``attempt_history`` of every prior attempt's outcome.
+    event_budget:
+        Deterministic per-run kill switch: abort a run (status
+        ``timeout``) once its kernel has fired this many events.  Unlike
+        ``timeout_s`` this trips at the same simulation point on every
+        host and worker count, so the resulting rows, ledger records and
+        flight dumps are byte-identical wherever the sweep runs.
+    status_file:
+        Heartbeat stream (JSONL) shared by the runner and all workers;
+        render it live with ``repro tail``.
+    ledger:
+        Path for the append-only run ledger (JSONL, deterministic
+        content; see :class:`repro.obs.campaign.LedgerWriter`).
+    flight_dir:
+        Directory for flight-recorder post-mortems.  When set, every
+        worker arms a :class:`~repro.obs.flight.FlightRecorder` and each
+        failed attempt dumps its last kernel events there.
+    heartbeat_interval_ns:
+        Simulation-time spacing of worker heartbeats (default: one
+        eighth of the scenario duration).
     """
 
     def __init__(
@@ -57,15 +85,33 @@ class Campaign:
         workers: int = 1,
         timeout_s: Optional[float] = None,
         retries: int = 0,
+        event_budget: Optional[int] = None,
+        status_file: Union[None, str, Path] = None,
+        ledger: Union[None, str, Path] = None,
+        flight_dir: Union[None, str, Path] = None,
+        heartbeat_interval_ns: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if event_budget is not None and event_budget < 1:
+            raise ValueError(
+                f"event_budget must be >= 1, got {event_budget}"
+            )
         self.spec = spec
         self.workers = workers
         self.timeout_s = timeout_s
         self.retries = retries
+        self.event_budget = event_budget
+        self.status_file = status_file
+        self.ledger = ledger
+        self.flight_dir = flight_dir
+        self.heartbeat_interval_ns = heartbeat_interval_ns
+        #: Per-attempt telemetry digests, populated by :meth:`run`.
+        self.telemetry: List[Dict[str, Any]] = []
+        #: Straggler/anomaly flags over :attr:`telemetry`.
+        self.stragglers: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------- running
 
@@ -85,10 +131,26 @@ class Campaign:
         with ``(row, finished_count, total)`` after each run.  The full row
         list is available afterwards as :attr:`rows`.
         """
+        from repro.obs.campaign import (
+            HeartbeatWriter,
+            LedgerWriter,
+            flag_stragglers,
+        )
+
         runs = self.plan(strict=strict)
         payloads = [run.as_payload() for run in runs]
+        status_path = (
+            str(self.status_file) if self.status_file is not None else None
+        )
+        flight_dir = (
+            str(self.flight_dir) if self.flight_dir is not None else None
+        )
         for payload in payloads:
             payload["timeout_s"] = self.timeout_s
+            payload["event_budget"] = self.event_budget
+            payload["status_file"] = status_path
+            payload["flight_dir"] = flight_dir
+            payload["heartbeat_interval_ns"] = self.heartbeat_interval_ns
 
         sink: Optional[IO[str]] = None
         owns_sink = False
@@ -101,9 +163,41 @@ class Campaign:
                 sink = path.open("w")
                 owns_sink = True
 
+        ledger = None
+        if self.ledger is not None:
+            ledger = LedgerWriter(
+                self.ledger,
+                sweep=self.spec.name,
+                spec_hash=self.spec.spec_hash(),
+                runs=len(runs),
+            )
+        status = None
+        if status_path is not None:
+            status = HeartbeatWriter(status_path)
+            status.write(
+                {
+                    "hb": "sweep",
+                    "sweep": self.spec.name,
+                    "spec_hash": self.spec.spec_hash(),
+                    "total": len(runs),
+                    "workers": self.workers,
+                    "t": time.time(),
+                }
+            )
+
         rows: List[Dict[str, Any]] = []
+        self.telemetry = []
+        status_counts: Dict[str, int] = {}
 
         def finish(row: Dict[str, Any]) -> None:
+            telemetry = row.pop("_telemetry", None)
+            if telemetry is not None:
+                self.telemetry.append(telemetry)
+            status_counts[row["status"]] = (
+                status_counts.get(row["status"], 0) + 1
+            )
+            if ledger is not None:
+                ledger.record_run(row)
             rows.append(row)
             if sink is not None:
                 sink.write(json.dumps(row, sort_keys=True) + "\n")
@@ -117,9 +211,22 @@ class Campaign:
             else:
                 self._run_pool(payloads, finish)
         finally:
+            if ledger is not None:
+                ledger.close(status_counts)
+            if status is not None:
+                status.write(
+                    {
+                        "hb": "sweep_end",
+                        "sweep": self.spec.name,
+                        "t": time.time(),
+                        "status": status_counts,
+                    }
+                )
+                status.close()
             if owns_sink and sink is not None:
                 sink.close()
 
+        self.stragglers = flag_stragglers(self.telemetry)
         self.rows = rows
         return aggregate_rows(self.spec.name, rows)
 
@@ -128,16 +235,45 @@ class Campaign:
     def _attempts(self, payload: Dict[str, Any]) -> int:
         return self.retries + 1
 
+    def _collect_telemetry(self, row: Dict[str, Any]) -> None:
+        """Harvest a *retried* attempt's telemetry before it is replaced.
+
+        The accepted attempt's telemetry is popped in ``finish``; failed
+        attempts would otherwise vanish -- and a straggler analysis that
+        cannot see the timed-out first attempt is useless.
+        """
+        telemetry = row.pop("_telemetry", None)
+        if telemetry is not None:
+            self.telemetry.append(telemetry)
+
+    @staticmethod
+    def _attempt_record(row: Dict[str, Any], attempt: int) -> Dict[str, Any]:
+        """The retry-lineage digest of one superseded attempt."""
+        record: Dict[str, Any] = {
+            "attempt": attempt,
+            "status": row["status"],
+        }
+        if row.get("error") is not None:
+            record["error"] = row["error"]
+        if row.get("flight_dump") is not None:
+            record["flight_dump"] = row["flight_dump"]
+        return record
+
     def _run_inline(
         self, payloads: List[Dict[str, Any]], finish: Callable
     ) -> None:
         for payload in payloads:
             row: Dict[str, Any] = {}
+            history: List[Dict[str, Any]] = []
             for attempt in range(1, self._attempts(payload) + 1):
-                row = execute_run(payload)
+                row = execute_run(dict(payload, attempt=attempt))
                 row["attempts"] = attempt
-                if row["status"] == "ok":
+                if row["status"] == "ok" or attempt > self.retries:
                     break
+                history.append(self._attempt_record(row, attempt))
+                self._collect_telemetry(row)
+            if history:
+                row["attempt_history"] = history
             finish(row)
 
     def _run_pool(
@@ -146,12 +282,13 @@ class Campaign:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             pending = {}
             for payload in payloads:
+                payload = dict(payload, attempt=1)
                 future = pool.submit(execute_run, payload)
-                pending[future] = (payload, 1)
+                pending[future] = (payload, 1, [])
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    payload, attempt = pending.pop(future)
+                    payload, attempt, history = pending.pop(future)
                     try:
                         row = future.result()
                     except Exception as exc:  # worker process died
@@ -166,8 +303,15 @@ class Campaign:
                             "error_type": type(exc).__name__,
                         }
                     if row["status"] != "ok" and attempt <= self.retries:
+                        history = history + [
+                            self._attempt_record(row, attempt)
+                        ]
+                        self._collect_telemetry(row)
+                        payload = dict(payload, attempt=attempt + 1)
                         retry = pool.submit(execute_run, payload)
-                        pending[retry] = (payload, attempt + 1)
+                        pending[retry] = (payload, attempt + 1, history)
                         continue
                     row["attempts"] = attempt
+                    if history:
+                        row["attempt_history"] = history
                     finish(row)

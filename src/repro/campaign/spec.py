@@ -192,6 +192,12 @@ class SweepSpec:
             data["seeds"] = self.seeds
         return data
 
+    def spec_hash(self) -> str:
+        """Digest pinning a run ledger to this exact sweep document."""
+        from repro.obs.campaign import sweep_spec_hash
+
+        return sweep_spec_hash(self.to_dict())
+
     # ----------------------------------------------------------- expansion
 
     def override_sets(self) -> List[Dict[str, Any]]:

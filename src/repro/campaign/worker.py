@@ -9,16 +9,27 @@ the parent's retry/streaming logic needs no exception plumbing.
 Rows contain only deterministic content (no wall-clock timestamps): the
 acceptance bar for the campaign engine is byte-identical rows and
 aggregates regardless of worker count, and elapsed times would break that.
-Timing lives in the runner's progress output and the benchmark instead.
+Wall-clock telemetry still gets measured per run, but it travels back on
+the row's ``_telemetry`` side channel, which the runner strips before any
+row reaches JSONL or aggregation; heartbeats stream to the shared status
+file instead (see :mod:`repro.obs.campaign`).
+
+Two per-run watchdogs coexist: the wall-clock ``SIGALRM`` (environmental,
+nondeterministic by nature) and the kernel's *event budget*
+(:class:`~repro.sim.kernel.EventBudgetExceeded`), which trips at exactly
+the same simulation point everywhere and therefore yields byte-identical
+timeout rows and flight-recorder dumps at any worker count.
 """
 
 from __future__ import annotations
 
 import signal
 import threading
-from typing import Any, Dict
+from pathlib import Path
+from typing import Any, Dict, Optional
 
 from repro.core.errors import TsnBuilderError
+from repro.sim.kernel import EventBudgetExceeded
 
 __all__ = ["execute_run", "RunTimeout"]
 
@@ -42,7 +53,9 @@ def _raise_timeout(signum, frame):  # pragma: no cover - trivial
 def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one expanded scenario and digest the result into a JSONL row."""
     from repro.network.scenario import ScenarioSpec
+    from repro.obs.campaign import WorkerTelemetry, flight_dump_name
 
+    attempt = payload.get("attempt", 1)
     row: Dict[str, Any] = {
         "run_id": payload["run_id"],
         "index": payload["index"],
@@ -52,6 +65,15 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
     timeout_s = payload.get("timeout_s")
     use_alarm = bool(timeout_s) and _alarm_supported()
+    telemetry = WorkerTelemetry(
+        payload["run_id"],
+        attempt=attempt,
+        index=payload["index"],
+        status_path=payload.get("status_file"),
+        interval_ns=payload.get("heartbeat_interval_ns"),
+    )
+    recorder = None
+    sim: Optional[Any] = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
@@ -60,6 +82,15 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         # re-check it in every worker.
         spec = ScenarioSpec.from_dict(payload["scenario"], strict=False)
         testbed = spec.build_testbed()
+        sim = testbed.sim
+        if payload.get("flight_dir"):
+            from repro.obs.flight import FlightRecorder
+
+            recorder = FlightRecorder()
+            sim.flight = recorder
+        if payload.get("event_budget"):
+            sim.event_budget = int(payload["event_budget"])
+        telemetry.attach(sim, spec.duration_ns)
         bram_kb = testbed.base_config.total_bram_kb
         result = testbed.run(duration_ns=spec.duration_ns)
         row.update(_measurements(result, bram_kb))
@@ -67,6 +98,10 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     except RunTimeout:
         row["status"] = "timeout"
         row["error"] = f"run exceeded {timeout_s:g}s"
+    except EventBudgetExceeded as exc:
+        # The deterministic timeout: same sim point on every host.
+        row["status"] = "timeout"
+        row["error"] = str(exc)
     except TsnBuilderError as exc:
         row["status"] = "error"
         row["error"] = str(exc)
@@ -79,6 +114,21 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+    if recorder is not None and row["status"] != "ok":
+        name = flight_dump_name(payload["run_id"], attempt)
+        context = {
+            "run_id": payload["run_id"],
+            "attempt": attempt,
+            "seed": payload["seed"],
+            "status": row["status"],
+            "error": row.get("error"),
+        }
+        if sim is not None:
+            context["sim_now_ns"] = sim.now
+            context["sim_stats"] = sim.stats.as_dict()
+        recorder.dump_to(Path(payload["flight_dir"]) / name, context)
+        row["flight_dump"] = name
+    row["_telemetry"] = telemetry.finish(row["status"], row.get("error"))
     return row
 
 

@@ -31,7 +31,21 @@ Five commands wrap the library's main workflows:
     Expand a declarative sweep document (see
     :class:`repro.campaign.SweepSpec`) into concrete scenarios and run
     them across a process pool, streaming per-run JSONL rows and writing
-    an aggregate summary with a BRAM-vs-QoS Pareto frontier.
+    an aggregate summary with a BRAM-vs-QoS Pareto frontier.  Every sweep
+    also writes a deterministic run *ledger* (``ledger.jsonl``) and a
+    wall-clock ``telemetry.json`` with straggler flags; ``--status-file``
+    streams live heartbeats, ``--flight-dir`` arms a flight recorder that
+    dumps the last kernel events of any failed run, ``--event-budget``
+    adds a deterministic per-run kill switch, and ``--status`` renders
+    the progress of an existing (possibly still running) sweep.
+``tail``
+    Render the live progress + ETA view of a sweep's ``--status-file``
+    (optionally following it like ``tail -f``).
+``bench check``
+    Re-measure the tracked benchmark workloads and compare them against
+    the committed baselines (``BENCH_kernel.json`` / ``BENCH_obs.json``)
+    with noise-aware thresholds; exit 1 on regression.  This is the CI
+    regression gate.
 ``faults``
     Run a scenario that declares a ``"faults"`` stanza (see
     :mod:`repro.faults`) and print the recovery summary: the executed
@@ -178,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the final registry state in "
                                "Prometheus text exposition format (implies "
                                "a registry even without --metrics)")
+    simulate.add_argument("--flight", type=Path, default=None,
+                          help="arm a flight recorder and write its "
+                               "post-mortem dump (last kernel events + "
+                               "fault firings) here after the run")
     simulate.add_argument("--drops", action="store_true",
                           help="print the per-switch drops-by-reason and "
                                "per-port occupancy tables to stderr")
@@ -243,6 +261,67 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-strict", action="store_true",
                        help="skip strict document validation (unknown keys "
                             "pass through)")
+    sweep.add_argument("--event-budget", type=int, default=None, metavar="N",
+                       help="deterministic per-run kill switch: abort a run "
+                            "(status 'timeout') after N kernel events -- "
+                            "trips at the same simulation point on every "
+                            "host and worker count")
+    sweep.add_argument("--status-file", type=Path, default=None,
+                       help="stream live heartbeat records (JSONL) here; "
+                            "render with `repro tail`")
+    sweep.add_argument("--flight-dir", type=Path, default=None,
+                       help="arm a flight recorder in every worker and dump "
+                            "the last kernel events of failed runs here")
+    sweep.add_argument("--heartbeat-interval-us", type=float, default=None,
+                       metavar="US",
+                       help="simulation-time spacing of worker heartbeats "
+                            "(default: duration/8)")
+    sweep.add_argument("--no-ledger", action="store_true",
+                       help="skip writing the run ledger "
+                            "(<out>/ledger.jsonl)")
+    sweep.add_argument("--status", action="store_true",
+                       help="render the progress of the sweep in --out "
+                            "(from its status file) and exit, no execution")
+
+    tail = commands.add_parser(
+        "tail",
+        help="render live progress + ETA from a sweep status file",
+    )
+    tail.add_argument("status_file", type=Path,
+                      help="a sweep's --status-file (or an --out directory "
+                           "containing status.jsonl)")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep re-rendering until the sweep ends")
+    tail.add_argument("--interval", type=float, default=2.0, metavar="S",
+                      help="refresh interval for --follow (default: 2s)")
+
+    bench = commands.add_parser(
+        "bench",
+        help="tracked-benchmark utilities (regression gating)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="re-measure tracked workloads and compare against the "
+             "committed baselines; exit 1 on regression",
+    )
+    bench_check.add_argument("--suite", choices=["kernel", "obs", "all"],
+                             default="all",
+                             help="which baseline(s) to gate (default: all)")
+    bench_check.add_argument("--smoke", action="store_true",
+                             help="small workloads for CI (compared against "
+                                  "the smoke_reference baseline section)")
+    bench_check.add_argument("--kernel-baseline", type=Path,
+                             default=Path("BENCH_kernel.json"),
+                             help="kernel baseline file "
+                                  "(default: BENCH_kernel.json)")
+    bench_check.add_argument("--obs-baseline", type=Path,
+                             default=Path("BENCH_obs.json"),
+                             help="obs-overhead baseline file "
+                                  "(default: BENCH_obs.json)")
+    bench_check.add_argument("--tolerance", type=float, default=None,
+                             help="override the regression tolerance "
+                                  "fraction (default: suite-specific)")
 
     return parser
 
@@ -386,6 +465,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             registry, testbed.sim, interval_ns=us(args.timeseries_interval_us)
         )
         sampler.start()
+    recorder = None
+    if args.flight:
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder()
+        testbed.sim.flight = recorder
     result = testbed.run(duration_ns=spec.duration_ns)
     summary = result_summary(result)
     print(json.dumps(summary, indent=2, sort_keys=True))
@@ -430,6 +515,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         args.prom.write_text(prometheus_exposition(registry))
         print(f"# prometheus exposition: {args.prom}", file=sys.stderr)
+    if recorder is not None:
+        recorder.dump_to(
+            args.flight,
+            context={
+                "scenario": spec.name,
+                "seed": spec.seed,
+                "status": "ok",
+                "sim_now_ns": testbed.sim.now,
+                "sim_stats": testbed.sim.stats.as_dict(),
+            },
+        )
+        print(f"# flight recorder ({len(recorder)} events, "
+              f"{len(recorder.notes())} notes): {args.flight}",
+              file=sys.stderr)
     if args.drops:
         print(result.drop_report(), file=sys.stderr)
         print(result.port_report(), file=sys.stderr)
@@ -522,13 +621,33 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign, SweepSpec
 
+    if args.status:
+        from repro.obs.campaign import read_status, render_status
+
+        status_path = args.status_file or args.out / "status.jsonl"
+        if not status_path.exists():
+            print(f"error: no status file at {status_path} (run the sweep "
+                  f"with --status-file)", file=sys.stderr)
+            return 2
+        print(render_status(read_status(status_path)))
+        return 0
+
     strict = not args.no_strict
     spec = SweepSpec.from_file(args.spec, strict=strict)
+    heartbeat_interval_ns = (
+        int(args.heartbeat_interval_us * 1000)
+        if args.heartbeat_interval_us else None
+    )
     campaign = Campaign(
         spec,
         workers=args.workers,
         timeout_s=args.timeout,
         retries=args.retries,
+        event_budget=args.event_budget,
+        status_file=args.status_file,
+        ledger=None if args.no_ledger else args.out / "ledger.jsonl",
+        flight_dir=args.flight_dir,
+        heartbeat_interval_ns=heartbeat_interval_ns,
     )
     runs = campaign.plan(strict=strict)
     if args.list_runs:
@@ -541,6 +660,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     jsonl_path = args.out / "runs.jsonl"
     summary_path = args.out / "summary.json"
+    telemetry_path = args.out / "telemetry.json"
 
     def progress(row, finished, total):
         status = row["status"]
@@ -553,14 +673,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     summary_path.write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
     )
+    from repro.obs.campaign import telemetry_summary
+
+    telemetry_path.write_text(
+        json.dumps(telemetry_summary(spec.name, campaign.telemetry),
+                   indent=2, sort_keys=True) + "\n"
+    )
     print(json.dumps(summary, indent=2, sort_keys=True))
     print(f"# rows: {jsonl_path}", file=sys.stderr)
     print(f"# summary: {summary_path}", file=sys.stderr)
+    if not args.no_ledger:
+        print(f"# ledger: {args.out / 'ledger.jsonl'}", file=sys.stderr)
+    print(f"# telemetry: {telemetry_path}", file=sys.stderr)
+    for flag in campaign.stragglers:
+        print(f"# straggler: {flag['run_id']} attempt {flag['attempt']} "
+              f"({', '.join(flag['reasons'])}, {flag['wall_s']:.3f}s)",
+              file=sys.stderr)
     failed = summary["runs"] - summary["status"].get("ok", 0)
     if failed:
         print(f"# {failed} run(s) did not finish ok", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.campaign import read_status, render_status
+
+    path = args.status_file
+    if path.is_dir():
+        path = path / "status.jsonl"
+    if not path.exists():
+        print(f"error: no status file at {path}", file=sys.stderr)
+        return 2
+    while True:
+        records = read_status(path)
+        print(render_status(records))
+        if not args.follow:
+            return 0
+        if any(r.get("hb") == "sweep_end" for r in records):
+            return 0
+        _time.sleep(args.interval)
+        print()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.check import run_check
+
+    return run_check(
+        suite=args.suite,
+        smoke=args.smoke,
+        kernel_baseline=args.kernel_baseline,
+        obs_baseline=args.obs_baseline,
+        tolerance=args.tolerance,
+    )
 
 
 _HANDLERS = {
@@ -572,6 +739,8 @@ _HANDLERS = {
     "slo": _cmd_slo,
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
+    "tail": _cmd_tail,
+    "bench": _cmd_bench,
 }
 
 

@@ -188,6 +188,13 @@ class FaultInjector:
                 "detail": detail,
             }
         )
+        # A fault firing is exactly what a post-mortem wants pinned next to
+        # the last kernel events, so annotate any attached flight recorder.
+        flight = getattr(self._sim, "flight", None)
+        if flight is not None:
+            flight.note(
+                f"fault.{event.kind}", detail, time_ns=self._sim.now
+            )
         if self._metrics is not None:
             self._metrics.counter(
                 "fault_events_total",

@@ -11,12 +11,28 @@ Everything the evaluation needs to *see inside* a run lives here:
 * frame-journey span recording (:mod:`repro.obs.flowspans`);
 * per-flow SLO monitors (:mod:`repro.obs.slo`);
 * ring-buffered time series + Prometheus/CSV export
-  (:mod:`repro.obs.timeseries`).
+  (:mod:`repro.obs.timeseries`);
+* the flight recorder black box for post-mortems
+  (:mod:`repro.obs.flight`);
+* campaign-scale telemetry -- run ledger, worker heartbeats, straggler
+  flagging, live status rendering (:mod:`repro.obs.campaign`).
 
 See ``docs/observability.md`` for the metric catalogue and exporter
-formats.
+formats, and ``docs/campaigns.md`` for the sweep-level artifacts.
 """
 
+from .campaign import (
+    HeartbeatWriter,
+    LedgerWriter,
+    WorkerTelemetry,
+    flag_stragglers,
+    read_ledger,
+    read_status,
+    render_status,
+    robust_z_scores,
+    sweep_spec_hash,
+    telemetry_summary,
+)
 from .chrome_trace import (
     chrome_trace_events,
     gate_span_events,
@@ -34,6 +50,7 @@ from .metrics import (
     MetricsRegistry,
     log_buckets,
 )
+from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
 from .profiler import NULL_PROFILER, NullProfiler, WallClockProfiler
 from .slo import SloMonitor, SloPolicy, SloReport, SloSpec
 from .timeseries import RingBuffer, TimeSeriesSampler, prometheus_exposition
@@ -65,4 +82,16 @@ __all__ = [
     "RingBuffer",
     "TimeSeriesSampler",
     "prometheus_exposition",
+    "FlightRecorder",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "LedgerWriter",
+    "HeartbeatWriter",
+    "WorkerTelemetry",
+    "sweep_spec_hash",
+    "read_ledger",
+    "read_status",
+    "render_status",
+    "robust_z_scores",
+    "flag_stragglers",
+    "telemetry_summary",
 ]

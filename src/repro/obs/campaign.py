@@ -1,0 +1,575 @@
+"""Campaign-scale observability: run ledger, worker telemetry, stragglers.
+
+PR 1-2 made a *single* run observable; a sweep of hundreds of runs was
+still a black box while it executed and an amnesiac afterwards.  This
+module is the fleet-telemetry substrate threaded through
+:mod:`repro.campaign`:
+
+* **Run ledger** (:class:`LedgerWriter`) -- an append-only JSONL record of
+  every run of a sweep: spec hash, derived seed, override params, exit
+  status, retry lineage, flight-dump reference.  Any row of a Pareto
+  aggregate is traceable back to one exact, reproducible invocation.
+  Ledger content is strictly deterministic (no wall-clock): the same sweep
+  document yields line-for-line identical records at any worker count
+  (line *order* follows completion order; compare sorted).
+* **Worker telemetry** (:class:`WorkerTelemetry`) -- each worker samples
+  wall clock, CPU time, peak RSS, kernel events and calendar stats per
+  run, and streams heartbeat records to a shared *status file* the
+  ``repro tail`` renderer turns into live progress + ETA.  Heartbeats are
+  wall-clock-bearing by design and therefore live in their own file,
+  never in rows or the ledger.
+* **Straggler detection** (:func:`flag_stragglers`) -- robust z-scores
+  (median/MAD) over per-run wall times flag runs that took anomalously
+  long, alongside every run that hit its timeout; the flags land in the
+  sweep's ``telemetry.json``.
+
+The status-file format is line-oriented JSON so a crashed or still-running
+sweep is always parseable up to its last complete line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "sweep_spec_hash",
+    "LedgerWriter",
+    "read_ledger",
+    "ledger_run_records",
+    "HeartbeatWriter",
+    "WorkerTelemetry",
+    "flight_dump_name",
+    "robust_z_scores",
+    "flag_stragglers",
+    "telemetry_summary",
+    "read_status",
+    "render_status",
+]
+
+#: Bump when ledger record fields change shape.
+LEDGER_SCHEMA = 1
+
+#: Robust z-score above which a run is flagged as a straggler.
+STRAGGLER_Z_THRESHOLD = 3.5
+
+
+def sweep_spec_hash(doc: Mapping[str, Any]) -> str:
+    """A short stable digest of a sweep document.
+
+    Canonical-JSON SHA-256, truncated to 16 hex chars: enough to pin a
+    ledger to the exact sweep document that produced it without bloating
+    every record.
+    """
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------- run ledger
+
+
+class LedgerWriter:
+    """Append-only JSONL ledger of one sweep's runs.
+
+    Record kinds (``"record"`` field): ``sweep`` (head: name, spec hash,
+    planned run count), ``run`` (one per finished run: identity, params,
+    status, retry lineage) and ``sweep_end`` (final status counts).  Every
+    record is one sorted-key JSON line containing only deterministic
+    content, so two sweeps of the same document produce identical lines in
+    any execution order.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, IO[str]],
+        sweep: str,
+        spec_hash: str,
+        runs: int,
+    ) -> None:
+        self.sweep = sweep
+        self.spec_hash = spec_hash
+        self._owns_sink = not hasattr(sink, "write")
+        if self._owns_sink:
+            path = Path(sink)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink: IO[str] = path.open("w")
+        else:
+            self._sink = sink  # type: ignore[assignment]
+        self.run_records = 0
+        self._write(
+            {
+                "record": "sweep",
+                "schema": LEDGER_SCHEMA,
+                "sweep": sweep,
+                "spec_hash": spec_hash,
+                "runs": runs,
+            }
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+        self._sink.flush()
+
+    def record_run(self, row: Mapping[str, Any]) -> None:
+        """Ledger one finished run from its result *row*.
+
+        Only the deterministic identity/outcome subset of the row is
+        recorded -- measurements stay in ``runs.jsonl``, timing in the
+        status file.
+        """
+        record: Dict[str, Any] = {
+            "record": "run",
+            "sweep": self.sweep,
+            "spec_hash": self.spec_hash,
+            "run_id": row["run_id"],
+            "index": row["index"],
+            "replicate": row["replicate"],
+            "seed": row["seed"],
+            "params": row["params"],
+            "status": row["status"],
+            "attempts": row.get("attempts", 1),
+        }
+        if row.get("error") is not None:
+            record["error"] = row["error"]
+        if row.get("attempt_history"):
+            record["attempt_history"] = row["attempt_history"]
+        if row.get("flight_dump") is not None:
+            record["flight_dump"] = row["flight_dump"]
+        self.run_records += 1
+        self._write(record)
+
+    def close(self, status_counts: Optional[Mapping[str, int]] = None) -> None:
+        self._write(
+            {
+                "record": "sweep_end",
+                "sweep": self.sweep,
+                "spec_hash": self.spec_hash,
+                "runs_recorded": self.run_records,
+                "status": dict(status_counts or {}),
+            }
+        )
+        if self._owns_sink:
+            self._sink.close()
+
+
+def read_ledger(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a ledger file; tolerates a truncated (crashed) last line."""
+    records: List[Dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn final line of a crashed sweep
+    return records
+
+
+def ledger_run_records(
+    records: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """The ``run`` records of a parsed ledger, ordered by run index."""
+    runs = [dict(r) for r in records if r.get("record") == "run"]
+    runs.sort(key=lambda r: r.get("index", 0))
+    return runs
+
+
+# ------------------------------------------------------------ status stream
+
+
+class HeartbeatWriter:
+    """Append-only writer of single-line JSON heartbeat records.
+
+    Workers and the runner share one status file; each record is written
+    as one ``write()`` call in append mode, which POSIX keeps atomic for
+    lines far below ``PIPE_BUF`` -- concurrent writers interleave whole
+    lines, never bytes.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._sink = self.path.open("a")
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+        self._sink.flush()
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+def _cpu_seconds() -> float:
+    times = os.times()
+    return times.user + times.system
+
+
+def _max_rss_kb() -> int:
+    """Peak resident set of this process in KiB (0 where unsupported).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so on a pool
+    worker that executes several runs the value is the peak *so far*, not
+    per-run -- still the right number for "which run blew up memory".
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports KiB; macOS reports bytes.
+    rss = usage.ru_maxrss
+    return int(rss // 1024) if rss > 1 << 30 else int(rss)
+
+
+class WorkerTelemetry:
+    """Per-run resource sampling and heartbeat streaming inside a worker.
+
+    Construct at the top of a run (captures wall/CPU baselines), then
+    :meth:`attach` the simulator once the testbed exists -- with a status
+    file configured this posts a self-rescheduling *simulation-time* tick
+    that writes one heartbeat per ``interval_ns`` of simulated time.
+    Sim-time ticks keep the sampling schedule deterministic (the tick
+    events themselves are part of the seeded event stream), while the
+    *contents* of a heartbeat carry wall-clock and are quarantined to the
+    status file.  :meth:`finish` returns the run's telemetry digest.
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        attempt: int = 1,
+        index: int = 0,
+        status_path: Optional[Union[str, Path]] = None,
+        interval_ns: Optional[int] = None,
+    ) -> None:
+        self.run_id = run_id
+        self.attempt = attempt
+        self.index = index
+        self.interval_ns = interval_ns
+        self.heartbeats = 0
+        self._writer = (
+            HeartbeatWriter(status_path) if status_path is not None else None
+        )
+        self._sim: Optional[Any] = None
+        self._duration_ns = 0
+        self._t0 = time.time()
+        self._cpu0 = _cpu_seconds()
+        if self._writer is not None:
+            self._writer.write(
+                {
+                    "hb": "run_start",
+                    "run_id": run_id,
+                    "attempt": attempt,
+                    "index": index,
+                    "pid": os.getpid(),
+                    "t": self._t0,
+                }
+            )
+
+    def attach(self, sim: Any, duration_ns: int) -> None:
+        """Hook the kernel; starts the heartbeat tick chain if streaming."""
+        self._sim = sim
+        self._duration_ns = max(1, duration_ns)
+        if self._writer is not None:
+            interval = self.interval_ns or max(1, duration_ns // 8)
+            self.interval_ns = interval
+            sim.post(interval, self._tick)
+
+    def _tick(self) -> None:
+        self.heartbeats += 1
+        sim = self._sim
+        assert sim is not None and self._writer is not None
+        self._writer.write(
+            {
+                "hb": "tick",
+                "run_id": self.run_id,
+                "attempt": self.attempt,
+                "pid": os.getpid(),
+                "t": time.time(),
+                "sim_ns": sim.now,
+                "progress": min(1.0, sim.now / self._duration_ns),
+                "events": sim.stats.fired,
+                "rss_kb": _max_rss_kb(),
+                "cpu_s": round(_cpu_seconds() - self._cpu0, 6),
+            }
+        )
+        sim.post(self.interval_ns, self._tick)
+
+    def finish(
+        self, status: str, error: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Close the run out; returns its telemetry digest (side channel).
+
+        The digest rides back to the runner under the row's ``_telemetry``
+        key and is stripped before the row reaches JSONL/aggregation --
+        wall-clock must never contaminate the deterministic artifacts.
+        """
+        wall_s = time.time() - self._t0
+        sim = self._sim
+        stats = sim.stats if sim is not None else None
+        telemetry: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "index": self.index,
+            "attempt": self.attempt,
+            "status": status,
+            "wall_s": wall_s,
+            "cpu_s": _cpu_seconds() - self._cpu0,
+            "max_rss_kb": _max_rss_kb(),
+            "events": stats.fired if stats is not None else 0,
+            "events_per_s": (
+                stats.fired / wall_s if stats is not None and wall_s > 0
+                else 0.0
+            ),
+            "calendar_high_water": (
+                stats.calendar_high_water if stats is not None else 0
+            ),
+            "compacted": stats.compacted if stats is not None else 0,
+            "heartbeats": self.heartbeats,
+        }
+        if error is not None:
+            telemetry["error"] = error
+        if self._writer is not None:
+            self._writer.write(
+                {
+                    "hb": "run_end",
+                    "run_id": self.run_id,
+                    "attempt": self.attempt,
+                    "index": self.index,
+                    "pid": os.getpid(),
+                    "t": time.time(),
+                    "status": status,
+                    "wall_s": round(wall_s, 6),
+                }
+            )
+            self._writer.close()
+        return telemetry
+
+
+def flight_dump_name(run_id: str, attempt: int) -> str:
+    """Deterministic flight-dump file name for one attempt of one run."""
+    return f"{run_id.replace(':', '_')}.attempt{attempt}.json"
+
+
+# --------------------------------------------------------------- stragglers
+
+
+def robust_z_scores(values: Sequence[float]) -> List[float]:
+    """Modified z-scores (median/MAD, 0.6745 scaling) of *values*.
+
+    Robust against the very outliers it hunts: a few extreme stragglers
+    barely move the median/MAD, so they cannot mask themselves the way
+    they would under a mean/stddev score.  With zero MAD (at least half
+    the values identical) every score is 0 -- nothing can be anomalous
+    relative to a degenerate spread.
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2
+    deviations = sorted(abs(v - median) for v in values)
+    if len(deviations) % 2:
+        mad = deviations[mid]
+    else:
+        mad = (deviations[mid - 1] + deviations[mid]) / 2
+    if mad == 0:
+        return [0.0 for _ in values]
+    return [0.6745 * (v - median) / mad for v in values]
+
+
+def flag_stragglers(
+    telemetry: Sequence[Mapping[str, Any]],
+    threshold: float = STRAGGLER_Z_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Straggler/anomaly flags across one sweep's telemetry digests.
+
+    A run is flagged when it hit its timeout (definitionally a straggler)
+    or when its wall time's robust z-score exceeds *threshold*.  Returns
+    flags sorted by descending z (ties by run id).
+    """
+    walls = [float(t.get("wall_s", 0.0)) for t in telemetry]
+    scores = robust_z_scores(walls)
+    flags: List[Dict[str, Any]] = []
+    for entry, z in zip(telemetry, scores):
+        reasons: List[str] = []
+        if entry.get("status") == "timeout":
+            reasons.append("timeout")
+        if z > threshold:
+            reasons.append(f"slow (robust z {z:.1f})")
+        if reasons:
+            flags.append(
+                {
+                    "run_id": entry.get("run_id"),
+                    "attempt": entry.get("attempt", 1),
+                    "wall_s": float(entry.get("wall_s", 0.0)),
+                    "z": round(z, 3),
+                    "reasons": reasons,
+                }
+            )
+    flags.sort(key=lambda f: (-f["z"], f["run_id"] or ""))
+    return flags
+
+
+def telemetry_summary(
+    sweep: str,
+    telemetry: Sequence[Mapping[str, Any]],
+    threshold: float = STRAGGLER_Z_THRESHOLD,
+) -> Dict[str, Any]:
+    """The ``telemetry.json`` document: per-run digests + straggler flags.
+
+    Deliberately a *separate* artifact from ``summary.json``: everything
+    here is wall-clock-derived and therefore excluded from the campaign
+    byte-determinism contract.
+    """
+    ordered = sorted(
+        (dict(t) for t in telemetry),
+        key=lambda t: (t.get("index", 0), t.get("attempt", 1)),
+    )
+    walls = [t["wall_s"] for t in ordered] or [0.0]
+    return {
+        "campaign": sweep,
+        "runs": len(ordered),
+        "wall_s": {
+            "total": sum(walls),
+            "min": min(walls),
+            "max": max(walls),
+            "mean": sum(walls) / len(walls),
+        },
+        "max_rss_kb": max((t.get("max_rss_kb", 0) for t in ordered),
+                          default=0),
+        "events": sum(t.get("events", 0) for t in ordered),
+        "stragglers": flag_stragglers(ordered, threshold=threshold),
+        "per_run": ordered,
+    }
+
+
+# ------------------------------------------------------------ status reader
+
+
+def read_status(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a status file; tolerates the torn last line of a live sweep."""
+    records: List[Dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render_status(
+    records: Sequence[Mapping[str, Any]],
+    now: Optional[float] = None,
+) -> str:
+    """Live progress + ETA view of one sweep's status file (``repro tail``).
+
+    A headline (runs finished / total, status mix, elapsed, ETA from the
+    completion rate so far), a table of in-flight runs from their latest
+    heartbeat (sim progress, events, RSS, heartbeat age), and the final
+    status line once the sweep has ended.
+    """
+    from repro.analysis.report import render_table
+
+    if now is None:
+        now = time.time()
+    sweep = next((r for r in records if r.get("hb") == "sweep"), None)
+    end = next((r for r in records if r.get("hb") == "sweep_end"), None)
+    if sweep is None:
+        return "(no sweep record yet -- is this a status file?)"
+    total = sweep.get("total", 0)
+    t0 = sweep.get("t", now)
+
+    # A run finishes once, however many attempts it took: `finished` is
+    # keyed by run_id and a retry's run_start supersedes the previous
+    # attempt's run_end, so `done` never exceeds the sweep total.
+    finished: Dict[str, Mapping[str, Any]] = {}
+    started: Dict[str, Mapping[str, Any]] = {}
+    latest_tick: Dict[str, Mapping[str, Any]] = {}
+    for record in records:
+        kind = record.get("hb")
+        run_id = str(record.get("run_id"))
+        attempt = record.get("attempt", 1)
+        key = f"{run_id}#{attempt}"
+        if kind == "run_start":
+            started[key] = record
+            prior = finished.get(run_id)
+            if prior is not None and prior.get("attempt", 1) < attempt:
+                finished.pop(run_id)
+        elif kind == "tick":
+            latest_tick[key] = record
+        elif kind == "run_end":
+            finished[run_id] = record
+            started.pop(key, None)
+            latest_tick.pop(key, None)
+
+    by_status: Dict[str, int] = {}
+    for record in finished.values():
+        status = record.get("status", "?")
+        by_status[status] = by_status.get(status, 0) + 1
+
+    done = len(finished)
+    elapsed = max(0.0, (end.get("t", now) if end else now) - t0)
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(by_status.items())) or "-"
+    lines = [
+        f"sweep {sweep.get('sweep', '?')}: {done}/{total} runs finished "
+        f"({mix}), elapsed {_fmt_duration(elapsed)}"
+    ]
+    if end is not None:
+        lines[0] += "  [complete]"
+    elif done and total > done and elapsed > 0:
+        eta = (total - done) * elapsed / done
+        lines[0] += f", ETA {_fmt_duration(eta)}"
+
+    inflight_rows: List[List[str]] = []
+    for key, start in sorted(started.items()):
+        tick = latest_tick.get(key)
+        if tick is not None:
+            progress = f"{tick.get('progress', 0.0) * 100:.0f}%"
+            events = f"{tick.get('events', 0):,}"
+            rss = f"{tick.get('rss_kb', 0) / 1024:.0f}MB"
+            age = f"{max(0.0, now - tick.get('t', now)):.1f}s"
+        else:
+            progress, events, rss = "0%", "-", "-"
+            age = f"{max(0.0, now - start.get('t', now)):.1f}s"
+        inflight_rows.append(
+            [
+                str(start.get("run_id")),
+                str(start.get("attempt", 1)),
+                str(start.get("pid", "-")),
+                progress,
+                events,
+                rss,
+                age,
+            ]
+        )
+    if inflight_rows:
+        lines.append(
+            render_table(
+                ["run", "attempt", "pid", "sim", "events", "rss", "hb age"],
+                inflight_rows,
+                title="In flight",
+            )
+        )
+    return "\n\n".join(lines)

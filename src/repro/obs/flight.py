@@ -1,0 +1,135 @@
+"""Flight recorder: a bounded black box of recent kernel activity.
+
+A campaign run that times out or crashes used to leave *nothing* behind --
+``SIGALRM`` unwound the worker and every in-memory trace died with it.  The
+:class:`FlightRecorder` fixes that the way avionics do: a fixed-capacity
+ring of the most recent kernel events (time + action category) plus a ring
+of annotated *notes* (fault firings, lifecycle marks), cheap enough to
+leave armed for the whole run and dumped to a post-mortem JSON file only
+when something goes wrong.
+
+Design constraints:
+
+* **Bounded**: both rings overwrite their oldest entries, so a runaway run
+  records the *end* of its life -- the part a post-mortem needs -- at
+  constant memory.
+* **Deterministic content**: entries carry simulation time and the action's
+  qualified-name category, never wall-clock, so two runs of the same seeded
+  scenario (any worker count) dump byte-identical files.  The campaign
+  determinism smoke relies on this.
+* **Cheap**: the kernel hook is one ``is not None`` test per event when
+  detached; when attached, one dict lookup (category cache by code object)
+  and one ring append.
+
+The recorder attaches to a kernel by assignment (``sim.flight = recorder``)
+-- mirroring how the profiler hooks in -- and the
+:class:`~repro.faults.injector.FaultInjector` notes every fault it applies
+into whatever recorder the kernel carries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.obs.timeseries import RingBuffer
+
+__all__ = ["FlightRecorder", "DEFAULT_FLIGHT_CAPACITY"]
+
+#: Events kept in the ring: enough to reconstruct the last few slot cycles
+#: of a wedged run without ballooning the dump file.
+DEFAULT_FLIGHT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Ring-buffered record of the most recent kernel events and notes.
+
+    >>> from repro.sim.kernel import Simulator
+    >>> sim = Simulator()
+    >>> sim.flight = recorder = FlightRecorder(capacity=4)
+    >>> sim.post(10, lambda: None)
+    >>> sim.run()
+    >>> len(recorder.events())
+    1
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        note_capacity: int = 64,
+    ) -> None:
+        self.capacity = capacity
+        self._events = RingBuffer(capacity)
+        self._notes = RingBuffer(note_capacity)
+        self.dropped_events = 0
+        self.dropped_notes = 0
+        # categorize() per event would dominate the recording cost; cache
+        # by code object like the profiler does (one entry per call site).
+        self._categories: Dict[Any, str] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, time_ns: int, action: Callable[..., Any]) -> None:
+        """Kernel hook: note that *action* fired at *time_ns*."""
+        func = getattr(action, "__func__", action)
+        key = getattr(func, "__code__", None) or type(action)
+        category = self._categories.get(key)
+        if category is None:
+            from repro.obs.profiler import categorize
+
+            category = self._categories[key] = categorize(action)
+        events = self._events
+        if len(events) == events.capacity:
+            self.dropped_events += 1
+        events.append((time_ns, category))
+
+    def note(self, kind: str, detail: str, time_ns: int = 0) -> None:
+        """Record an annotated marker (fault firing, lifecycle event)."""
+        notes = self._notes
+        if len(notes) == notes.capacity:
+            self.dropped_notes += 1
+        notes.append({"time_ns": time_ns, "kind": kind, "detail": detail})
+
+    # -------------------------------------------------------------- queries
+
+    def events(self) -> List[Any]:
+        """Recorded (time_ns, category) pairs, oldest first."""
+        return self._events.items()
+
+    def notes(self) -> List[Dict[str, Any]]:
+        return self._notes.items()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -------------------------------------------------------------- dumping
+
+    def dump(self, context: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The post-mortem document: recent events, notes, drop accounting.
+
+        *context* (run id, status, sim stats, ...) is merged in verbatim;
+        callers must keep it wall-clock-free if they rely on the
+        byte-identical-dump property.
+        """
+        doc: Dict[str, Any] = dict(context or {})
+        doc.update(
+            capacity=self.capacity,
+            events=[[t, c] for t, c in self.events()],
+            events_dropped=self.dropped_events,
+            notes=self.notes(),
+            notes_dropped=self.dropped_notes,
+        )
+        return doc
+
+    def dump_to(
+        self, path: Union[str, Path],
+        context: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write :meth:`dump` as sorted-key JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.dump(context), indent=2, sort_keys=True) + "\n"
+        )
+        return target

@@ -43,6 +43,14 @@ Wall-clock attribution of event actions is opt-in: pass a
 :class:`repro.obs.profiler.WallClockProfiler` and each action's host-CPU
 time is recorded under its qualified name.  With the default
 ``profiler=None`` the run loop performs **no** clock reads at all.
+
+Two more opt-in hooks serve the campaign observability layer: attaching a
+:class:`repro.obs.flight.FlightRecorder` (``sim.flight = recorder``) rings
+every fired event for post-mortem dumps, and setting
+:attr:`Simulator.event_budget` turns the kernel into its own deterministic
+watchdog -- the run raises :class:`EventBudgetExceeded` at exactly the same
+simulation point on any host, unlike a wall-clock ``SIGALRM``.  Both
+default to off and cost one ``is not None`` test per event.
 """
 
 from __future__ import annotations
@@ -53,7 +61,22 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 
-__all__ = ["Simulator", "EventHandle", "SimStats"]
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimStats",
+    "EventBudgetExceeded",
+]
+
+
+class EventBudgetExceeded(SimulationError):
+    """The run fired more events than its configured budget allows.
+
+    A *deterministic* timeout: unlike a wall-clock ``SIGALRM``, the budget
+    trips at exactly the same simulation point on every host and worker
+    count, so campaign rows and flight-recorder dumps produced by budget
+    kills are byte-identical wherever they run.
+    """
 
 Action = Callable[[], Any]
 
@@ -160,6 +183,13 @@ class Simulator:
         self._running = False
         self.stats = SimStats()
         self.profiler = profiler
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; when attached,
+        #: every fired event is noted (time + category) in its ring.
+        self.flight: Optional[Any] = None
+        #: Optional cap on total events fired; exceeding it raises
+        #: :class:`EventBudgetExceeded` (the deterministic per-run timeout
+        #: the campaign engine injects).
+        self.event_budget: Optional[int] = None
 
     # ------------------------------------------------------------ properties
 
@@ -302,6 +332,8 @@ class Simulator:
         pop = heapq.heappop
         stats = self.stats
         profiler = self.profiler
+        flight = self.flight
+        budget = self.event_budget
         try:
             while heap:
                 entry = heap[0]
@@ -319,6 +351,13 @@ class Simulator:
                 self._now = entry[0]
                 stats.fired += 1
                 self._live -= 1
+                if flight is not None:
+                    flight.record(entry[0], action)
+                if budget is not None and stats.fired > budget:
+                    raise EventBudgetExceeded(
+                        f"event budget of {budget} events exceeded at "
+                        f"{entry[0]}ns"
+                    )
                 if profiler is None:
                     action()
                 else:
@@ -349,6 +388,14 @@ class Simulator:
             self._now = entry[0]
             self.stats.fired += 1
             self._live -= 1
+            if self.flight is not None:
+                self.flight.record(entry[0], action)
+            budget = self.event_budget
+            if budget is not None and self.stats.fired > budget:
+                raise EventBudgetExceeded(
+                    f"event budget of {budget} events exceeded at "
+                    f"{entry[0]}ns"
+                )
             profiler = self.profiler
             if profiler is None:
                 action()

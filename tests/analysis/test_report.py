@@ -26,6 +26,27 @@ class TestRenderTable:
         assert "---" in lines[2]
         assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
 
+    def test_cell_wider_than_header_widens_column(self):
+        text = render_table(
+            ["c", "v"],
+            [["a_very_long_label_cell", "1"], ["x", "22"]],
+        )
+        header, rule, first, second = text.splitlines()
+        # Data determines the column width: the second column of every
+        # line starts at the same offset, past the long label.
+        assert rule.startswith("-" * len("a_very_long_label_cell"))
+        assert first.index("1") == second.index("22")
+        assert header.index("v") == first.index("1")
+
+    def test_extra_cells_beyond_headers_kept(self):
+        text = render_table(["only"], [["a", "extra1", "extra2"]])
+        assert "extra1" in text and "extra2" in text
+
+    def test_no_trailing_whitespace(self):
+        text = render_table(["wide header", "x"], [["a", "b"]], title="T")
+        for line in text.splitlines():
+            assert line == line.rstrip()
+
 
 class TestTable3:
     def test_contains_paper_numbers(self):
@@ -95,6 +116,29 @@ class TestRenderMetrics:
         from repro.analysis.report import render_metrics
 
         assert render_metrics({}) == "(no metrics recorded)"
+
+    def test_long_flow_labels_keep_columns_aligned(self):
+        """Satellite fix: a flow name longer than the 'labels' header must
+        widen that column for every row instead of breaking alignment."""
+        from repro.analysis.report import render_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        long_flow = "sensor_array_back_left_redundant_path_b"
+        registry.counter("frames_total").inc(3, flow=long_flow)
+        registry.counter("frames_total").inc(7, flow="f0")
+        text = render_metrics(registry.snapshot())
+        lines = text.splitlines()
+        long_line = next(l for l in lines if long_flow in l)
+        short_line = next(l for l in lines if "flow=f0" in l)
+        # The value column starts at the same offset on both rows, i.e.
+        # the long label widened the column rather than shifting its row.
+        assert long_line.index(" 3") == short_line.index(" 7")
+        header = next(l for l in lines if l.startswith("counter"))
+        rule = lines[lines.index(header) + 1]
+        assert len(rule) >= len(long_line.rstrip())
+        for line in lines:
+            assert line == line.rstrip()
 
 
 class TestRenderFaults:

@@ -389,3 +389,129 @@ class TestSimulateStrict:
         assert main(["simulate", str(path)]) == 2
         err = capsys.readouterr().err
         assert "flows.ts_cout" in err and "ts_count" in err
+
+
+class TestSweepObservability:
+    def _sweep(self, tmp_path):
+        data = {
+            "name": "obs-cli",
+            "base": {
+                "name": "point",
+                "topology": {"kind": "ring", "switch_count": 2,
+                             "talkers": ["talker0"], "listener": "listener"},
+                "flows": {"ts_count": 4},
+                "config": "derive",
+                "slot_us": 62.5,
+                "duration_ms": 2,
+                "seed": 0,
+            },
+            "grid": {"flows.ts_count": [4, 8]},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_artifacts_written_by_default_and_flags(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--workers", "1",
+                     "--out", str(out_dir),
+                     "--status-file", str(out_dir / "status.jsonl"),
+                     "--flight-dir", str(out_dir / "flight")]) == 0
+        captured = capsys.readouterr()
+        # Ledger on by default: head + 2 runs + end.
+        ledger = [json.loads(l) for l in
+                  (out_dir / "ledger.jsonl").read_text().splitlines()]
+        assert [r["record"] for r in ledger] == ["sweep", "run", "run",
+                                                 "sweep_end"]
+        assert ledger[0]["sweep"] == "obs-cli"
+        telemetry = json.loads((out_dir / "telemetry.json").read_text())
+        assert telemetry["runs"] == 2
+        assert telemetry["stragglers"] == []
+        status = [json.loads(l) for l in
+                  (out_dir / "status.jsonl").read_text().splitlines()]
+        assert status[0]["hb"] == "sweep"
+        assert status[-1]["hb"] == "sweep_end"
+        assert "# ledger:" in captured.err
+        assert "# telemetry:" in captured.err
+
+    def test_no_ledger_flag_suppresses_ledger(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--out", str(out_dir),
+                     "--no-ledger"]) == 0
+        capsys.readouterr()
+        assert not (out_dir / "ledger.jsonl").exists()
+
+    def test_event_budget_timeouts_report_stragglers(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--out", str(out_dir),
+                     "--event-budget", "40",
+                     "--flight-dir", str(out_dir / "flight")]) == 1
+        captured = capsys.readouterr()
+        assert "# straggler:" in captured.err
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["status"] == {"timeout": 2}
+        assert list((out_dir / "flight").glob("*.json"))
+
+    def test_status_flag_renders_and_exits(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(path), "--out", str(out_dir),
+                     "--status-file", str(out_dir / "status.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(path), "--out", str(out_dir),
+                     "--status"]) == 0
+        out = capsys.readouterr().out
+        assert "obs-cli" in out and "[complete]" in out
+
+    def test_status_flag_without_file_exits_2(self, tmp_path, capsys):
+        path = self._sweep(tmp_path)
+        assert main(["sweep", str(path), "--out", str(tmp_path / "empty"),
+                     "--status"]) == 2
+        assert "no status file" in capsys.readouterr().err
+
+
+class TestTailCommand:
+    def test_renders_status_dir(self, tmp_path, capsys):
+        sweep = TestSweepObservability()._sweep(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(sweep), "--out", str(out_dir),
+                     "--status-file", str(out_dir / "status.jsonl")]) == 0
+        capsys.readouterr()
+        # Accepts the --out directory and finds status.jsonl inside it.
+        assert main(["tail", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "obs-cli" in out and "[complete]" in out
+
+    def test_missing_status_file_exits_2(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no status file" in capsys.readouterr().err
+
+
+class TestBenchCheckCommand:
+    def test_missing_baselines_exit_2(self, tmp_path, capsys):
+        assert main(["bench", "check", "--smoke",
+                     "--kernel-baseline", str(tmp_path / "nope.json"),
+                     "--obs-baseline", str(tmp_path / "nope2.json")]) == 2
+        err = capsys.readouterr().err
+        assert "nope.json" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bench"])
+
+
+class TestSimulateFlight:
+    def test_flight_flag_writes_dump(self, tmp_path, capsys):
+        path = TestSimulate()._scenario(tmp_path, duration_ms=2)
+        dump = tmp_path / "flight.json"
+        assert main(["simulate", str(path), "--flight", str(dump)]) == 0
+        captured = capsys.readouterr()
+        assert "# flight recorder" in captured.err
+        doc = json.loads(dump.read_text())
+        assert doc["scenario"] == "cli-test"
+        assert doc["status"] == "ok"
+        assert len(doc["events"]) > 0
+        assert doc["sim_stats"]["fired"] > 0

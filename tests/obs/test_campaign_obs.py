@@ -1,0 +1,289 @@
+"""Campaign observability primitives: ledger, heartbeats, stragglers."""
+
+import json
+
+from repro.obs.campaign import (
+    HeartbeatWriter,
+    LedgerWriter,
+    WorkerTelemetry,
+    flag_stragglers,
+    flight_dump_name,
+    ledger_run_records,
+    read_ledger,
+    read_status,
+    render_status,
+    robust_z_scores,
+    sweep_spec_hash,
+    telemetry_summary,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestSpecHash:
+    def test_stable_across_key_order(self):
+        a = sweep_spec_hash({"name": "s", "base": {"x": 1, "y": 2}})
+        b = sweep_spec_hash({"base": {"y": 2, "x": 1}, "name": "s"})
+        assert a == b
+        assert len(a) == 16
+
+    def test_different_documents_differ(self):
+        assert sweep_spec_hash({"name": "a"}) != sweep_spec_hash({"name": "b"})
+
+    def test_sweep_spec_method_matches(self):
+        from repro.campaign import SweepSpec
+
+        spec = SweepSpec(name="s", base={"x": 1})
+        assert spec.spec_hash() == sweep_spec_hash(spec.to_dict())
+
+
+def _row(run_id="s:0000", index=0, status="ok", **extra):
+    row = {
+        "run_id": run_id,
+        "index": index,
+        "replicate": 0,
+        "seed": 42,
+        "params": {"flows.ts_count": 4},
+        "status": status,
+        "attempts": 1,
+    }
+    row.update(extra)
+    return row
+
+
+class TestLedger:
+    def test_head_run_end_lifecycle(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=2)
+        ledger.record_run(_row("s:0000", 0))
+        ledger.record_run(_row("s:0001", 1, status="timeout",
+                               error="budget", attempts=2))
+        ledger.close({"ok": 1, "timeout": 1})
+        records = read_ledger(path)
+        assert [r["record"] for r in records] == ["sweep", "run", "run",
+                                                  "sweep_end"]
+        head, end = records[0], records[-1]
+        assert head["runs"] == 2 and head["spec_hash"] == "abc"
+        assert end["runs_recorded"] == 2
+        assert end["status"] == {"ok": 1, "timeout": 1}
+
+    def test_run_records_capture_lineage(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=1)
+        ledger.record_run(_row(
+            status="timeout", attempts=2, error="budget",
+            attempt_history=[{"attempt": 1, "status": "timeout",
+                              "error": "budget"}],
+            flight_dump="s_0000.attempt2.json",
+        ))
+        ledger.close()
+        run = ledger_run_records(read_ledger(path))[0]
+        assert run["attempts"] == 2
+        assert run["attempt_history"][0]["attempt"] == 1
+        assert run["flight_dump"] == "s_0000.attempt2.json"
+        assert run["seed"] == 42 and run["params"] == {"flows.ts_count": 4}
+
+    def test_records_contain_no_wall_clock(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=1)
+        ledger.record_run(_row())
+        ledger.close({"ok": 1})
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert "t" not in record and "wall_s" not in record
+
+    def test_read_tolerates_torn_last_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=1)
+        ledger.record_run(_row())
+        ledger.close()
+        with path.open("a") as fh:
+            fh.write('{"record": "run", "trunc')
+        records = read_ledger(path)
+        assert [r["record"] for r in records] == ["sweep", "run", "sweep_end"]
+
+    def test_run_records_sorted_by_index(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=2)
+        ledger.record_run(_row("s:0001", 1))
+        ledger.record_run(_row("s:0000", 0))
+        ledger.close()
+        runs = ledger_run_records(read_ledger(path))
+        assert [r["index"] for r in runs] == [0, 1]
+
+
+class TestFlightDumpName:
+    def test_sanitizes_run_id(self):
+        assert flight_dump_name("sweep:0003", 2) == "sweep_0003.attempt2.json"
+
+
+class TestRobustZ:
+    def test_outlier_scores_high(self):
+        values = [1.0, 1.1, 0.9, 1.0, 1.05, 10.0]
+        scores = robust_z_scores(values)
+        assert scores[-1] > 3.5
+        assert all(abs(z) < 3.5 for z in scores[:-1])
+
+    def test_degenerate_spread_scores_zero(self):
+        assert robust_z_scores([2.0, 2.0, 2.0]) == [0.0, 0.0, 0.0]
+
+    def test_empty(self):
+        assert robust_z_scores([]) == []
+
+
+class TestStragglers:
+    def test_timeout_always_flagged(self):
+        telemetry = [
+            {"run_id": "s:0000", "attempt": 1, "status": "ok", "wall_s": 1.0},
+            {"run_id": "s:0001", "attempt": 1, "status": "timeout",
+             "wall_s": 1.0},
+        ]
+        flags = flag_stragglers(telemetry)
+        assert len(flags) == 1
+        assert flags[0]["run_id"] == "s:0001"
+        assert flags[0]["reasons"] == ["timeout"]
+
+    def test_slow_run_flagged_by_robust_z(self):
+        telemetry = [
+            {"run_id": f"s:{i:04d}", "status": "ok", "wall_s": w}
+            for i, w in enumerate([1.0, 1.1, 0.9, 1.0, 1.05, 25.0])
+        ]
+        flags = flag_stragglers(telemetry)
+        assert [f["run_id"] for f in flags] == ["s:0005"]
+        assert "slow" in flags[0]["reasons"][0]
+
+    def test_uniform_walls_produce_no_flags(self):
+        telemetry = [
+            {"run_id": f"s:{i:04d}", "status": "ok", "wall_s": 1.0}
+            for i in range(4)
+        ]
+        assert flag_stragglers(telemetry) == []
+
+    def test_summary_document(self):
+        telemetry = [
+            {"run_id": "s:0001", "index": 1, "attempt": 1, "status": "ok",
+             "wall_s": 2.0, "events": 10, "max_rss_kb": 100},
+            {"run_id": "s:0000", "index": 0, "attempt": 1, "status": "ok",
+             "wall_s": 1.0, "events": 20, "max_rss_kb": 200},
+        ]
+        doc = telemetry_summary("sweep", telemetry)
+        assert doc["campaign"] == "sweep"
+        assert doc["runs"] == 2
+        assert doc["wall_s"]["total"] == 3.0
+        assert doc["events"] == 30
+        assert doc["max_rss_kb"] == 200
+        assert [t["index"] for t in doc["per_run"]] == [0, 1]
+
+
+class TestWorkerTelemetry:
+    def test_finish_digest_without_sim(self, tmp_path):
+        telemetry = WorkerTelemetry("s:0000", attempt=1, index=0)
+        digest = telemetry.finish("error", "boom")
+        assert digest["run_id"] == "s:0000"
+        assert digest["status"] == "error"
+        assert digest["error"] == "boom"
+        assert digest["events"] == 0
+        assert digest["wall_s"] >= 0
+
+    def test_sim_ticks_stream_heartbeats(self, tmp_path):
+        status = tmp_path / "status.jsonl"
+        sim = Simulator()
+        telemetry = WorkerTelemetry("s:0000", attempt=1, index=0,
+                                    status_path=status)
+        telemetry.attach(sim, duration_ns=800)
+        sim.post_at(1000, lambda: None)  # horizon for the tick chain
+        sim.run(until=1000)
+        digest = telemetry.finish("ok")
+        records = read_status(status)
+        kinds = [r["hb"] for r in records]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        ticks = [r for r in records if r["hb"] == "tick"]
+        assert len(ticks) >= 2
+        assert digest["heartbeats"] == len(ticks)
+        assert ticks[0]["sim_ns"] == 100  # duration/8
+        assert 0 <= ticks[0]["progress"] <= 1
+
+    def test_no_status_file_means_no_ticks(self):
+        sim = Simulator()
+        telemetry = WorkerTelemetry("s:0000")
+        telemetry.attach(sim, duration_ns=800)
+        sim.run()
+        digest = telemetry.finish("ok")
+        assert digest["heartbeats"] == 0
+        assert sim.stats.fired == 0
+
+
+class TestStatusRendering:
+    def _records(self):
+        return [
+            {"hb": "sweep", "sweep": "demo", "total": 4, "workers": 2,
+             "t": 100.0},
+            {"hb": "run_start", "run_id": "demo:0000", "attempt": 1,
+             "index": 0, "pid": 11, "t": 100.1},
+            {"hb": "run_start", "run_id": "demo:0001", "attempt": 1,
+             "index": 1, "pid": 12, "t": 100.1},
+            {"hb": "tick", "run_id": "demo:0001", "attempt": 1, "pid": 12,
+             "t": 101.0, "sim_ns": 2_500_000, "progress": 0.5,
+             "events": 1200, "rss_kb": 50_000, "cpu_s": 0.8},
+            {"hb": "run_end", "run_id": "demo:0000", "attempt": 1,
+             "index": 0, "pid": 11, "t": 102.0, "status": "ok",
+             "wall_s": 1.9},
+        ]
+
+    def test_renders_progress_and_inflight(self):
+        text = render_status(self._records(), now=103.0)
+        assert "demo" in text
+        assert "1/4 runs finished" in text
+        assert "ok=1" in text
+        assert "demo:0001" in text
+        assert "50%" in text
+        assert "ETA" in text
+
+    def test_complete_sweep_marked(self):
+        records = self._records() + [
+            {"hb": "run_end", "run_id": "demo:0001", "attempt": 1,
+             "index": 1, "pid": 12, "t": 104.0, "status": "ok",
+             "wall_s": 3.9},
+            {"hb": "sweep_end", "sweep": "demo", "t": 104.0,
+             "status": {"ok": 2}},
+        ]
+        text = render_status(records, now=105.0)
+        assert "[complete]" in text
+        assert "2/4 runs finished" in text
+
+    def test_no_sweep_record(self):
+        assert "status file" in render_status([], now=1.0)
+
+    def test_retried_run_counted_once(self):
+        records = [
+            {"hb": "sweep", "sweep": "demo", "total": 2, "workers": 1,
+             "t": 100.0},
+            {"hb": "run_start", "run_id": "demo:0000", "attempt": 1,
+             "index": 0, "pid": 11, "t": 100.1},
+            {"hb": "run_end", "run_id": "demo:0000", "attempt": 1,
+             "index": 0, "pid": 11, "t": 101.0, "status": "timeout",
+             "wall_s": 0.9},
+            {"hb": "run_start", "run_id": "demo:0000", "attempt": 2,
+             "index": 0, "pid": 11, "t": 101.1},
+        ]
+        # The retry supersedes attempt 1's run_end: back in flight.
+        text = render_status(records, now=102.0)
+        assert "0/2 runs finished" in text
+        assert "demo:0000" in text  # shown in the in-flight table
+        records.append(
+            {"hb": "run_end", "run_id": "demo:0000", "attempt": 2,
+             "index": 0, "pid": 11, "t": 102.0, "status": "ok",
+             "wall_s": 0.9}
+        )
+        text = render_status(records, now=103.0)
+        assert "1/2 runs finished" in text
+        assert "ok=1" in text and "timeout" not in text
+
+    def test_read_status_skips_torn_line(self, tmp_path):
+        path = tmp_path / "status.jsonl"
+        writer = HeartbeatWriter(path)
+        writer.write({"hb": "sweep", "total": 1, "t": 1.0})
+        writer.close()
+        with path.open("a") as fh:
+            fh.write('{"hb": "tick", "trunc')
+        assert [r["hb"] for r in read_status(path)] == ["sweep"]

@@ -1,0 +1,184 @@
+"""Flight recorder: ring semantics, kernel hook, event budget, dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+from repro.sim.kernel import EventBudgetExceeded, Simulator
+
+
+def wakeup():
+    pass
+
+
+class TestRecording:
+    def test_records_time_and_category(self):
+        recorder = FlightRecorder()
+        recorder.record(125, wakeup)
+        assert recorder.events() == [(125, "wakeup")]
+
+    def test_ring_keeps_most_recent_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+
+        def tick():
+            pass
+
+        for t in range(10):
+            recorder.record(t, tick)
+        assert [t for t, _ in recorder.events()] == [6, 7, 8, 9]
+        assert recorder.dropped_events == 6
+
+    def test_category_cached_per_code_object(self):
+        recorder = FlightRecorder()
+
+        def tick():
+            pass
+
+        recorder.record(1, tick)
+        recorder.record(2, tick)
+        assert len(recorder._categories) == 1
+
+    def test_notes_ring_bounded(self):
+        recorder = FlightRecorder(note_capacity=2)
+        for i in range(5):
+            recorder.note("fault.link_down", f"link{i}", time_ns=i)
+        notes = recorder.notes()
+        assert [n["detail"] for n in notes] == ["link3", "link4"]
+        assert recorder.dropped_notes == 3
+
+    def test_len_counts_buffered_events(self):
+        recorder = FlightRecorder(capacity=8)
+        assert len(recorder) == 0
+        recorder.record(1, lambda: None)
+        assert len(recorder) == 1
+
+
+class TestKernelHook:
+    def test_attached_recorder_sees_fired_events(self):
+        sim = Simulator()
+        sim.flight = recorder = FlightRecorder()
+        fired = []
+        sim.post(10, lambda: fired.append(1))
+        sim.post(20, lambda: fired.append(2))
+        sim.run()
+        assert len(fired) == 2
+        assert [t for t, _ in recorder.events()] == [10, 20]
+
+    def test_detached_kernel_records_nothing(self):
+        sim = Simulator()
+        sim.post(10, lambda: None)
+        sim.run()
+        assert sim.flight is None
+
+    def test_step_records_too(self):
+        sim = Simulator()
+        sim.flight = recorder = FlightRecorder()
+        sim.post(5, lambda: None)
+        assert sim.step() is True
+        assert len(recorder.events()) == 1
+
+    def test_cancelled_events_not_recorded(self):
+        sim = Simulator()
+        sim.flight = recorder = FlightRecorder()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        sim.post(20, lambda: None)
+        sim.run()
+        assert [t for t, _ in recorder.events()] == [20]
+
+
+class TestEventBudget:
+    def test_budget_trips_deterministically(self):
+        def run_with_budget():
+            sim = Simulator()
+            sim.event_budget = 5
+
+            def tick():
+                sim.post(10, tick)
+
+            sim.post(10, tick)
+            with pytest.raises(EventBudgetExceeded) as exc:
+                sim.run()
+            return sim.now, str(exc.value)
+
+        assert run_with_budget() == run_with_budget()
+
+    def test_budget_allows_exactly_budget_events(self):
+        sim = Simulator()
+        sim.event_budget = 3
+        fired = []
+        for t in (10, 20, 30):
+            sim.post(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_budget_message_names_count_and_time(self):
+        sim = Simulator()
+        sim.event_budget = 2
+
+        def tick():
+            sim.post(10, tick)
+
+        sim.post(10, tick)
+        with pytest.raises(EventBudgetExceeded, match="budget of 2 .*30ns"):
+            sim.run()
+
+    def test_budget_enforced_in_step(self):
+        sim = Simulator()
+        sim.event_budget = 1
+        sim.post(10, lambda: None)
+        sim.post(20, lambda: None)
+        assert sim.step() is True
+        with pytest.raises(EventBudgetExceeded):
+            sim.step()
+
+
+class TestDump:
+    def test_dump_merges_context_and_accounting(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(7, wakeup)
+        recorder.note("fault.link_down", "ring0 down", time_ns=7)
+        doc = recorder.dump(context={"run_id": "s:0001", "status": "timeout"})
+        assert doc["run_id"] == "s:0001"
+        assert doc["status"] == "timeout"
+        assert doc["capacity"] == 4
+        assert doc["events"] == [[7, "wakeup"]]
+        assert doc["notes"][0]["detail"] == "ring0 down"
+        assert doc["events_dropped"] == 0
+
+    def test_dump_to_writes_sorted_json(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(1, lambda: None)
+        path = recorder.dump_to(tmp_path / "deep" / "dump.json",
+                                context={"run_id": "x"})
+        data = json.loads(path.read_text())
+        assert data["run_id"] == "x"
+        assert len(data["events"]) == 1
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+
+
+class TestFaultIntegration:
+    def test_fault_firings_noted_in_recorder(self):
+        from repro.network.scenario import ScenarioSpec
+
+        spec = ScenarioSpec.from_dict({
+            "name": "flight-fault",
+            "topology": {"kind": "ring", "switch_count": 2,
+                         "talkers": ["talker0"], "listener": "listener"},
+            "flows": {"ts_count": 2},
+            "duration_ms": 2,
+            "faults": {"events": [
+                {"kind": "link_down", "link": "sw0.p0", "at_us": 500},
+                {"kind": "link_up", "link": "sw0.p0", "at_us": 1000},
+            ]},
+        })
+        testbed = spec.build_testbed()
+        testbed.sim.flight = recorder = FlightRecorder()
+        testbed.run(duration_ns=spec.duration_ns)
+        kinds = [n["kind"] for n in recorder.notes()]
+        assert "fault.link_down" in kinds
+        assert "fault.link_up" in kinds
+        assert len(recorder.events()) > 0

@@ -140,3 +140,46 @@ class TestKernelIntegration:
         with pytest.raises(RuntimeError):
             sim.run()
         assert sum(e["calls"] for e in profiler.report().values()) == 1
+
+
+class TestNestedSections:
+    def test_nested_spans_record_both_categories(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        report = profiler.report()
+        assert report["inner"]["calls"] == 1
+        assert report["outer"]["calls"] == 1
+        # The outer section's wall time contains the inner section's:
+        # sections overlap, they are not exclusive buckets.
+        assert report["outer"]["total_ns"] > report["inner"]["total_ns"]
+
+    def test_nested_same_category_accumulates_calls(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        with profiler.span("work"):
+            with profiler.span("work"):
+                pass
+        entry = profiler.report()["work"]
+        assert entry["calls"] == 2
+        assert entry["max_ns"] > 0
+
+    def test_triple_nesting_totals_are_monotonic(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        with profiler.span("a"):
+            with profiler.span("b"):
+                with profiler.span("c"):
+                    pass
+        report = profiler.report()
+        assert (report["a"]["total_ns"] > report["b"]["total_ns"]
+                > report["c"]["total_ns"])
+
+    def test_nested_span_survives_inner_exception(self):
+        profiler = WallClockProfiler(clock=ticking_clock())
+        with pytest.raises(RuntimeError):
+            with profiler.span("outer"):
+                with profiler.span("inner"):
+                    raise RuntimeError("kaboom")
+        report = profiler.report()
+        assert report["outer"]["calls"] == 1
+        assert report["inner"]["calls"] == 1

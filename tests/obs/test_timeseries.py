@@ -163,3 +163,51 @@ class TestPrometheus:
         registry = MetricsRegistry()
         registry.gauge("ratio").set(0.25)
         assert "\nratio 0.25" in prometheus_exposition(registry)
+
+
+class TestSamplerOutlivesSimulationEnd:
+    """Sampling configured to run past the simulation horizon must stop
+    cleanly at the horizon -- no phantom samples, no broken chain."""
+
+    def _setup(self, interval_ns):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, sim, interval_ns=interval_ns)
+        return sim, registry, sampler
+
+    def test_ticks_beyond_horizon_do_not_fire(self):
+        sim, registry, sampler = self._setup(interval_ns=300)
+        counter = registry.counter("frames").labels(switch="sw0")
+        counter.inc()
+        sampler.start()
+        sim.run(until=1000)
+        # Ticks at 300/600/900 fire; the rescheduled 1200 tick is beyond
+        # the horizon and must not have been sampled.
+        assert sampler.samples_taken == 3
+        times = [t for t, _ in sampler.series()["frames"][(("switch",
+                                                            "sw0"),)]]
+        assert times == [300, 600, 900]
+        assert sim.now == 1000
+
+    def test_interval_longer_than_run_samples_nothing(self):
+        sim, registry, sampler = self._setup(interval_ns=5000)
+        registry.counter("frames").labels(switch="sw0").inc()
+        sampler.start()
+        sim.run(until=1000)
+        assert sampler.samples_taken == 0
+        assert sampler.series() == {}
+        assert sampler.to_csv() == "time_ns,metric,labels,value\n"
+
+    def test_chain_resumes_on_a_later_run(self):
+        # The cut-off tick stays queued: extending the horizon resumes
+        # sampling without a second start().
+        sim, registry, sampler = self._setup(interval_ns=300)
+        registry.counter("frames").labels(switch="sw0").inc()
+        sampler.start()
+        sim.run(until=1000)
+        assert sampler.samples_taken == 3
+        sim.run(until=2000)
+        assert sampler.samples_taken == 6
+        times = [t for t, _ in sampler.series()["frames"][(("switch",
+                                                            "sw0"),)]]
+        assert times == [300, 600, 900, 1200, 1500, 1800]
