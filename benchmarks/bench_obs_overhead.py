@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Observability overhead: the cost of watching the dataplane.
 
-Runs the same ring scenario in three instrumentation modes and reports
+Runs the same ring scenario in four instrumentation modes and reports
 wall-clock time per mode:
 
-* ``off``     -- no registry, no spans: the uninstrumented baseline.
-* ``metrics`` -- MetricsRegistry attached (PR 1's always-on production
+* ``off``      -- no registry, no spans: the uninstrumented baseline.
+* ``metrics``  -- MetricsRegistry attached (PR 1's always-on production
   posture).  The acceptance bar: within 5% of ``off``.
-* ``full``    -- registry + flow-span recording + a 1 ms time-series
-  sampler: everything on.  Expected to cost real time; the point of the
-  number is knowing *how much*.
+* ``headroom`` -- registry + occupancy probes (HeadroomRecorder): the
+  resource-headroom accounting posture.  The acceptance bar: within 2%
+  of ``metrics`` (the probes must be cheap enough to leave on).
+* ``full``     -- registry + probes + flow-span recording + a 1 ms
+  time-series sampler: everything on.  Expected to cost real time; the
+  point of the number is knowing *how much*.
 
 The measurement core lives in :mod:`repro.bench.obs` (so ``repro bench
 check --suite obs`` can gate the recorded overhead without shelling out);
@@ -70,6 +73,9 @@ def main(argv=None) -> int:
         entry = results[mode]
         print(f"{mode:>8}: best {entry['best_s'] * 1000:8.1f} ms  "
               f"({(entry['vs_off'] - 1) * 100:+6.2f}% vs off)")
+    print(f"# headroom probes: "
+          f"{(results['headroom']['vs_metrics'] - 1) * 100:+.2f}% "
+          f"vs metrics", file=sys.stderr)
 
     payload = {
         "benchmark": "bench_obs_overhead",
@@ -81,6 +87,7 @@ def main(argv=None) -> int:
         },
         "modes": results,
         "metrics_overhead": results["metrics"]["vs_off"] - 1.0,
+        "headroom_overhead": results["headroom"]["vs_metrics"] - 1.0,
         "full_overhead": results["full"]["vs_off"] - 1.0,
     }
     if args.output:

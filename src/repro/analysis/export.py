@@ -81,7 +81,7 @@ def result_summary(result) -> Dict:
     summary: Dict = {
         "duration_ns": result.duration_ns,
         "slot_ns": result.slot_ns,
-        "classes": {},
+        "classes": result.analyzer.class_digest(result.expected_by_flow),
         "switch_counters": result.counters(),
         "max_queue_high_water": result.max_queue_high_water(),
         "max_buffer_high_water": result.max_buffer_high_water(),
@@ -98,20 +98,8 @@ def result_summary(result) -> Dict:
     faults = getattr(result, "faults", None)
     if faults is not None:
         summary["faults"] = faults.as_dict()
-    for traffic_class in TrafficClass:
-        received = result.analyzer.received(traffic_class)
-        entry: Dict = {"received": received,
-                       "loss": result.loss_rate(traffic_class)}
-        if received:
-            stats = result.summary(traffic_class)
-            entry.update(
-                mean_ns=stats.mean_ns,
-                jitter_ns=stats.jitter_ns,
-                min_ns=stats.min_ns,
-                max_ns=stats.max_ns,
-                p99_ns=stats.p99_ns,
-            )
-        summary["classes"][traffic_class.name] = entry
+    if getattr(result, "headroom", None) is not None:
+        summary["headroom"] = result.headroom_report().as_dict()
     if result.itp_plan is not None:
         summary["itp"] = {
             "max_frames_per_slot": result.itp_plan.max_frames_per_slot,

@@ -23,6 +23,8 @@ __all__ = [
     "render_metrics",
     "render_slo",
     "render_faults",
+    "render_headroom",
+    "render_port_occupancy",
 ]
 
 
@@ -344,6 +346,91 @@ def render_faults(report: "FaultReport") -> str:
         f"(FRER eliminated {report.frer_eliminated} duplicates)"
     )
     return "\n\n".join(sections)
+
+
+def _fmt_mean(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def render_headroom(report: "HeadroomReport") -> str:
+    """Pretty-print a :class:`~repro.obs.headroom.HeadroomReport`.
+
+    One row per (switch, structure): peak vs provisioned size, utilization,
+    time-weighted mean (when probes ran), and the BRAM Kb provisioned /
+    sufficient / wasted -- the costs recomputed through
+    ``core.bram.allocate`` at the margined observed sizes.  Followed by the
+    network totals and the cheapest sufficient configuration.
+    """
+    rows = []
+    for entry in report.structures:
+        rows.append(
+            [
+                entry.switch,
+                entry.structure,
+                f"{entry.peak}/{entry.provisioned}",
+                f"{entry.utilization * 100:.1f}%",
+                _fmt_mean(entry.mean),
+                f"{entry.provisioned_kb:g}",
+                f"{entry.sufficient_kb:g}",
+                f"{entry.wasted_kb:+g}",
+            ]
+        )
+    sections = [
+        render_table(
+            ["switch", "structure", "peak/size", "util", "twa mean",
+             "prov Kb", "suff Kb", "wasted Kb"],
+            rows,
+            title="Resource headroom (observed vs provisioned)",
+        )
+    ]
+    cheapest = report.cheapest_config
+    sections.append(
+        f"BRAM: provisioned {report.provisioned_kb:g}Kb, sufficient "
+        f"{report.sufficient_kb:g}Kb, wasted {report.wasted_kb:+g}Kb "
+        f"({(report.wasted_kb / report.provisioned_kb * 100) if report.provisioned_kb else 0.0:+.1f}%)"
+    )
+    sections.append(
+        f"Cheapest sufficient config ({cheapest.port_num} ports): "
+        f"queue_depth {cheapest.queue_depth}, buffer_num "
+        f"{cheapest.buffer_num}, tables "
+        f"unicast {cheapest.unicast_size} / class {cheapest.class_size} / "
+        f"meter {cheapest.meter_size} / gate {cheapest.gate_size} -> "
+        f"{report.cheapest_kb:g}Kb per switch"
+    )
+    return "\n\n".join(sections)
+
+
+def render_port_occupancy(report: "HeadroomReport") -> str:
+    """The per-port occupancy/drop table (``--drops`` and ``headroom``).
+
+    Keeps the historical sizing-evidence columns (high-water vs size, drop
+    counters) and appends the time-weighted mean occupancy columns when
+    the run carried occupancy probes.
+    """
+    timeweighted = report.timeweighted
+    rows = []
+    for port in report.ports:
+        row = [
+            port.label,
+            f"{port.queue_peak}/{port.queue_depth}",
+            f"{port.buffer_peak}/{port.pool_slots}",
+            str(port.tail_drops),
+            str(port.gate_drops),
+            str(port.pool_drops),
+            str(port.preemptions),
+        ]
+        if timeweighted:
+            row.extend(
+                [_fmt_mean(port.queue_mean), _fmt_mean(port.buffer_mean)]
+            )
+        rows.append(row)
+    headers = ["port", "queue hw", "buffer hw", "tail drops", "gate drops",
+               "pool drops", "preemptions"]
+    if timeweighted:
+        headers.extend(["queue twa", "buffer twa"])
+    return render_table(
+        headers, rows, title="Per-port occupancy and drops"
+    )
 
 
 def render_series(series: SweepSeries, unit: str = "us") -> str:

@@ -11,7 +11,10 @@ noise-aware thresholds:
   against full-scale numbers would always "regress".
 * **obs** -- the metrics-mode overhead ratio must not grow more than
   ``tolerance`` (default 5 points) beyond the recorded
-  ``metrics_overhead``.
+  ``metrics_overhead``; the occupancy-probe (headroom) overhead relative
+  to metrics mode is gated separately at the recorded
+  ``headroom_overhead`` plus ``HEADROOM_TOLERANCE`` (2 points) -- the
+  probes are meant to be cheap enough to leave always-on.
 
 Shared-runner noise protection in both suites: a measurement that looks
 regressed is re-taken a few more times and judged on the best sample seen
@@ -35,6 +38,7 @@ from . import obs as bench_obs
 __all__ = [
     "KERNEL_TOLERANCE",
     "OBS_TOLERANCE",
+    "HEADROOM_TOLERANCE",
     "check_kernel",
     "check_obs",
     "run_check",
@@ -46,6 +50,11 @@ KERNEL_TOLERANCE = 0.25
 #: Allowed growth (absolute, in overhead fraction) of the metrics-mode
 #: observability overhead, e.g. 0.05 = five percentage points.
 OBS_TOLERANCE = 0.05
+
+#: Allowed growth of the occupancy-probe (headroom-vs-metrics) overhead.
+#: Tighter than OBS_TOLERANCE: the probes' acceptance bar is "cheap
+#: enough to leave on", so drift is capped at two points.
+HEADROOM_TOLERANCE = 0.02
 
 #: Remeasure attempts before a regressed-looking sample is believed.
 NOISE_RETRIES = 4
@@ -114,6 +123,11 @@ def check_obs(
     tolerance: Optional[float] = None,
 ) -> int:
     """Gate the metrics-mode overhead against ``BENCH_obs.json``."""
+    # An explicit --tolerance override applies to both gates; the defaults
+    # differ (the probe gate is tighter).
+    headroom_tolerance = (
+        HEADROOM_TOLERANCE if tolerance is None else tolerance
+    )
     tolerance = OBS_TOLERANCE if tolerance is None else tolerance
     baseline = _load_baseline(baseline_path, "obs")
     if baseline is None:
@@ -129,30 +143,54 @@ def check_obs(
         print(f"# bench check [obs]: baseline has no {where}",
               file=sys.stderr)
         return 2
+    recorded_headroom = section.get("headroom_overhead")
+    if recorded_headroom is None:
+        print("# bench check [obs]: baseline has no 'headroom_overhead'; "
+              "probe gate skipped (regenerate with "
+              "benchmarks/bench_obs_overhead.py)", file=sys.stderr)
     ts_count = 8 if smoke else 128
     duration_ns = 5_000_000 if smoke else 40_000_000
     repeats = 1 if smoke else 3
 
-    def sample() -> float:
+    def sample() -> dict:
+        """Both gated overheads from one measurement pass."""
         modes = bench_obs.measure(ts_count, duration_ns, repeats)
-        return modes["metrics"]["vs_off"] - 1.0
+        return {
+            "metrics": modes["metrics"]["vs_off"] - 1.0,
+            "headroom": modes["headroom"]["vs_metrics"] - 1.0,
+        }
 
-    # Overhead can only look *worse* through noise (a descheduled metrics
-    # run), so judge on the best (lowest) overhead seen.
-    bar = recorded + tolerance
-    overhead = sample()
+    gates = [("metrics_overhead", "metrics", recorded, tolerance)]
+    if recorded_headroom is not None:
+        gates.append(
+            ("headroom_overhead", "headroom", recorded_headroom,
+             headroom_tolerance)
+        )
+    # Overhead can only look *worse* through noise (a descheduled
+    # instrumented run), so judge each gate on the best (lowest) overhead
+    # seen; a retry re-samples both gates from one measurement pass.
+    best = sample()
     retries = 0
-    while overhead > bar and retries < NOISE_RETRIES:
-        overhead = min(overhead, sample())
+    while retries < NOISE_RETRIES and any(
+        best[key] > ref + tol for _, key, ref, tol in gates
+    ):
+        fresh = sample()
+        best = {key: min(best[key], fresh[key]) for key in best}
         retries += 1
-    status = "ok" if overhead <= bar else "REGRESSED"
-    print(f"# check metrics_overhead: {overhead * 100:+.2f}% vs recorded "
-          f"{recorded * 100:+.2f}% (bar {bar * 100:+.2f}%, "
-          f"{retries} remeasure(s)) {status}", file=sys.stderr)
-    if overhead > bar:
-        print(f"# observability overhead grew more than "
-              f"{tolerance * 100:.0f} points past the baseline",
-              file=sys.stderr)
+    failed = []
+    for name, key, ref, tol in gates:
+        bar = ref + tol
+        overhead = best[key]
+        status = "ok" if overhead <= bar else "REGRESSED"
+        print(f"# check {name}: {overhead * 100:+.2f}% vs recorded "
+              f"{ref * 100:+.2f}% (bar {bar * 100:+.2f}%, "
+              f"{retries} remeasure(s)) {status}", file=sys.stderr)
+        if overhead > bar:
+            failed.append((name, tol))
+    if failed:
+        for name, tol in failed:
+            print(f"# {name} grew more than {tol * 100:.0f} points past "
+                  f"the baseline", file=sys.stderr)
         return 1
     return 0
 

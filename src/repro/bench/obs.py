@@ -13,7 +13,7 @@ from typing import Dict
 
 __all__ = ["MODES", "run_once", "measure"]
 
-MODES = ("off", "metrics", "full")
+MODES = ("off", "metrics", "headroom", "full")
 
 
 def _build_flows(ts_count: int):
@@ -38,16 +38,21 @@ def run_once(mode: str, ts_count: int, duration_ns: int) -> float:
     from repro.network.testbed import Testbed
     from repro.network.topology import ring_topology
     from repro.obs.flowspans import FlowSpanRecorder
+    from repro.obs.headroom import HeadroomRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.timeseries import TimeSeriesSampler
 
     topology = ring_topology(switch_count=3, talkers=["talker0"])
     flows = _build_flows(ts_count)
     config = customized_config(topology.max_enabled_ports)
-    registry = MetricsRegistry() if mode in ("metrics", "full") else None
+    registry = MetricsRegistry() if mode in ("metrics", "headroom", "full") \
+        else None
     spans = FlowSpanRecorder() if mode == "full" else None
+    headroom = (
+        HeadroomRecorder() if mode in ("headroom", "full") else None
+    )
     testbed = Testbed(topology, config, flows, slot_ns=62_500,
-                      metrics=registry, spans=spans)
+                      metrics=registry, spans=spans, headroom=headroom)
     if mode == "full":
         sampler = TimeSeriesSampler(registry, testbed.sim,
                                     interval_ns=us(1000))
@@ -59,7 +64,12 @@ def run_once(mode: str, ts_count: int, duration_ns: int) -> float:
 
 
 def measure(ts_count: int, duration_ns: int, repeats: int) -> Dict[str, dict]:
-    """Per-mode timings plus each mode's ratio against ``off``."""
+    """Per-mode timings plus each mode's ratio against ``off``.
+
+    The ``headroom`` mode additionally records ``vs_metrics`` -- the
+    occupancy probes' marginal cost over an identical metrics-only run,
+    the ratio gated by ``repro bench check --suite obs``.
+    """
     results: Dict[str, dict] = {}
     for mode in MODES:
         run_once(mode, ts_count, duration_ns)  # warm-up (imports, caches)
@@ -74,4 +84,7 @@ def measure(ts_count: int, duration_ns: int, repeats: int) -> Dict[str, dict]:
     baseline = results["off"]["best_s"]
     for mode in MODES:
         results[mode]["vs_off"] = results[mode]["best_s"] / baseline
+    results["headroom"]["vs_metrics"] = (
+        results["headroom"]["best_s"] / results["metrics"]["best_s"]
+    )
     return results

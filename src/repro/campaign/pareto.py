@@ -24,7 +24,7 @@ def _qos_metric(row: Dict[str, Any]) -> Optional[float]:
 
 def _frontier_point(row: Dict[str, Any]) -> Dict[str, Any]:
     ts = row["classes"]["TS"]
-    return {
+    point = {
         "run_id": row["run_id"],
         "params": row["params"],
         "seed": row["seed"],
@@ -33,24 +33,36 @@ def _frontier_point(row: Dict[str, Any]) -> Dict[str, Any]:
         "ts_max_ns": ts["max_ns"],
         "ts_loss": ts["loss"],
     }
+    if "observed_bram_kb" in row:
+        point["observed_bram_kb"] = row["observed_bram_kb"]
+    if "wasted_bram_kb" in row:
+        point["wasted_bram_kb"] = row["wasted_bram_kb"]
+    return point
 
 
-def pareto_frontier(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Non-dominated (bram_kb, ts_p99_ns) points among QoS-meeting ok rows.
+def pareto_frontier(
+    rows: List[Dict[str, Any]], bram_key: str = "bram_kb"
+) -> List[Dict[str, Any]]:
+    """Non-dominated (*bram_key*, ts_p99_ns) points among QoS-meeting ok rows.
 
     Both axes are minimized.  A point survives unless some other point is
     no worse on both axes and strictly better on at least one.  The result
     is sorted by ascending BRAM (ties by latency, then run id) and strictly
-    decreasing in latency.
+    decreasing in latency.  *bram_key* selects the cost axis: the default
+    ``"bram_kb"`` is the provisioned cost; ``"observed_bram_kb"`` ranks by
+    the cheapest-sufficient re-costing from the headroom report instead,
+    exposing customizations that only look expensive because they were
+    over-provisioned.
     """
     feasible = [
         row for row in rows
         if row.get("status") == "ok"
         and row.get("qos_ok")
+        and row.get(bram_key) is not None
         and _qos_metric(row) is not None
     ]
     feasible.sort(
-        key=lambda r: (r["bram_kb"], _qos_metric(r), r["run_id"])
+        key=lambda r: (r[bram_key], _qos_metric(r), r["run_id"])
     )
     frontier: List[Dict[str, Any]] = []
     best_latency = float("inf")
@@ -89,9 +101,23 @@ def aggregate_rows(
             for r in ordered if r["status"] != "ok"
         ],
     }
+    # The observed frontier re-ranks the same feasible set by what the run
+    # actually needed (cheapest-sufficient BRAM) rather than what it was
+    # provisioned with; only emitted when rows carry headroom accounting.
+    observed = pareto_frontier(ordered, bram_key="observed_bram_kb")
+    if observed:
+        summary["observed_pareto"] = observed
     if ok_rows:
         brams = [r["bram_kb"] for r in ok_rows]
         summary["bram_kb"] = {"min": min(brams), "max": max(brams)}
+        observed_brams = [
+            r["observed_bram_kb"] for r in ok_rows
+            if r.get("observed_bram_kb") is not None
+        ]
+        if observed_brams:
+            summary["observed_bram_kb"] = {
+                "min": min(observed_brams), "max": max(observed_brams),
+            }
         latencies = [
             _qos_metric(r) for r in ok_rows if _qos_metric(r) is not None
         ]

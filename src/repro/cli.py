@@ -22,6 +22,14 @@ Five commands wrap the library's main workflows:
 ``metrics``
     Pretty-print a metrics snapshot produced by ``simulate --metrics`` (or
     a summary JSON embedding one).
+``headroom``
+    Run a scenario with occupancy probes armed and print the
+    observed-vs-provisioned resource report: per-structure utilization,
+    time-weighted occupancy, wasted BRAM and the cheapest sufficient
+    configuration under the sizing margin policy (see
+    :mod:`repro.obs.headroom`).  ``--json``/``--csv``/``--prom`` export
+    the report for tooling.  ``simulate --headroom`` attaches the same
+    probes to an ordinary simulation run.
 ``slo``
     Run a scenario under its SLO policy (the spec's ``"slo"`` stanza, plus
     every flow-definition deadline) and print per-flow pass/fail verdicts.
@@ -199,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--drops", action="store_true",
                           help="print the per-switch drops-by-reason and "
                                "per-port occupancy tables to stderr")
+    simulate.add_argument("--headroom", action="store_true",
+                          help="attach occupancy probes and print the "
+                               "observed-vs-provisioned resource headroom "
+                               "report to stderr (also embedded in the "
+                               "summary JSON)")
     simulate.add_argument("--no-strict", action="store_true",
                           help="skip strict scenario validation (unknown "
                                "keys pass through to the testbed)")
@@ -214,6 +227,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-emit the snapshot as JSON instead of "
                               "tables (e.g. to extract the embedded "
                               "snapshot from a summary)")
+
+    headroom = commands.add_parser(
+        "headroom",
+        help="run a scenario with occupancy probes and report "
+             "observed-vs-provisioned resource headroom",
+    )
+    headroom.add_argument("scenario", type=Path)
+    headroom.add_argument("--json", action="store_true",
+                          help="emit the report as JSON instead of tables")
+    headroom.add_argument("--csv", type=Path, default=None,
+                          help="also write the per-structure rows as CSV")
+    headroom.add_argument("--prom", type=Path, default=None,
+                          help="also write the headroom gauges in "
+                               "Prometheus text exposition format")
+    headroom.add_argument("--margin", type=float, default=1.5,
+                          help="queue-depth margin for the cheapest "
+                               "sufficient config (default: 1.5, the "
+                               "sizing guideline)")
+    headroom.add_argument("--no-strict", action="store_true",
+                          help="skip strict scenario validation (unknown "
+                               "keys pass through to the testbed)")
 
     slo = commands.add_parser(
         "slo",
@@ -392,7 +426,8 @@ def _cmd_size(args: argparse.Namespace) -> int:
         note = (
             f"# total {config.total_bram_kb:g}Kb BRAM; ITP needs queue "
             f"depth {result.required_queue_depth}, configured "
-            f"{config.queue_depth}"
+            f"{config.queue_depth} "
+            f"(+{result.depth_margin_frames} frames margin)"
         )
     payload = config.to_json()
     if args.output:
@@ -453,8 +488,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     profiler = WallClockProfiler() if args.profile else None
     spans = FlowSpanRecorder() if args.flow_spans else None
+    headroom = None
+    if args.headroom:
+        from repro.obs.headroom import HeadroomRecorder
+
+        headroom = HeadroomRecorder()
     testbed = spec.build_testbed(
-        metrics=registry, tracer=tracer, profiler=profiler, spans=spans
+        metrics=registry, tracer=tracer, profiler=profiler, spans=spans,
+        headroom=headroom,
     )
     sampler = None
     if args.timeseries:
@@ -510,6 +551,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"# time series ({sampler.samples_taken} samples, "
               f"{len(sampler.rings)} series): {args.timeseries}",
               file=sys.stderr)
+    if args.headroom:
+        from repro.analysis.report import render_headroom
+
+        report = result.headroom_report()
+        print(render_headroom(report), file=sys.stderr)
+        if registry is not None:
+            report.publish(registry)
     if args.prom:
         from repro.obs.timeseries import prometheus_exposition
 
@@ -537,6 +585,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ts = summary["classes"]["TS"]
     if ts.get("received") and ts["loss"] == 0.0:
         print("# TS: zero loss", file=sys.stderr)
+    return 0
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_headroom, render_port_occupancy
+    from repro.obs.headroom import HeadroomRecorder
+
+    spec = ScenarioSpec.from_file(args.scenario, strict=not args.no_strict)
+    recorder = HeadroomRecorder()
+    result = spec.run(headroom=recorder)
+    report = result.headroom_report(queue_depth_margin=args.margin)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_headroom(report))
+        print()
+        print(render_port_occupancy(report))
+    if args.csv:
+        args.csv.write_text(report.to_csv())
+        print(f"# headroom csv: {args.csv}", file=sys.stderr)
+    if args.prom:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.timeseries import prometheus_exposition
+
+        registry = MetricsRegistry()
+        report.publish(registry)
+        args.prom.write_text(prometheus_exposition(registry))
+        print(f"# prometheus exposition: {args.prom}", file=sys.stderr)
+    wasted = report.wasted_kb
+    print(f"# provisioned {report.provisioned_kb:g}Kb, sufficient "
+          f"{report.sufficient_kb:g}Kb, cheapest single config "
+          f"{report.cheapest_kb:g}Kb", file=sys.stderr)
+    if wasted < 0:
+        print(f"# under-provisioned by {-wasted:g}Kb against the "
+              f"{args.margin:g}x depth-margin policy", file=sys.stderr)
     return 0
 
 
@@ -736,6 +819,7 @@ _HANDLERS = {
     "emit-rtl": _cmd_emit_rtl,
     "simulate": _cmd_simulate,
     "metrics": _cmd_metrics,
+    "headroom": _cmd_headroom,
     "slo": _cmd_slo,
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,

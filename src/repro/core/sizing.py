@@ -37,7 +37,12 @@ from repro.traffic.flows import FlowSet
 from .config import SwitchConfig
 from .errors import SchedulingError
 
-__all__ = ["SizingResult", "derive_config"]
+__all__ = [
+    "SizingResult",
+    "ObservedDemand",
+    "derive_config",
+    "sufficient_config",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,72 @@ class SizingResult:
 
 def _round_up(value: int, multiple: int) -> int:
     return -(-value // multiple) * multiple
+
+
+@dataclass(frozen=True)
+class ObservedDemand:
+    """Peak demand a run actually placed on each sized structure.
+
+    The inverse of :func:`derive_config`'s inputs: where sizing predicts
+    demand from application features, this records what the dataplane
+    measured -- queue/pool high-water marks and table fills -- so
+    :func:`sufficient_config` can answer "what is the cheapest switch that
+    would have sufficed for this run?".
+    """
+
+    queue_depth: int = 0       # worst per-queue occupancy (frames)
+    buffer_slots: int = 0      # worst buffer-pool occupancy (slots)
+    unicast: int = 0           # installed forwarding entries
+    multicast: int = 0
+    classification: int = 0
+    meters: int = 0            # installed meter entries
+    gate_entries: int = 0      # longest programmed GCL
+    cbs_map: int = 0
+    cbs: int = 0
+
+
+def sufficient_config(
+    base: SwitchConfig,
+    observed: ObservedDemand,
+    queue_depth_margin: float = 1.5,
+    depth_round_to: int = 4,
+) -> SwitchConfig:
+    """The cheapest configuration that would have carried *observed* demand.
+
+    Applies the same engineering-margin policy :func:`derive_config` uses
+    for queue depth (scale the requirement by ``queue_depth_margin``, round
+    up to a multiple of ``depth_round_to``) and the paper's buffer
+    decomposition ``buffer_num = queue_depth * queue_num``, so a sufficient
+    config for the Table I Case 2 workload (7 frames/slot observed)
+    reproduces the published 12 x 8 -> 96 figures.  Tables are sized to
+    their observed fill (minimum 1 entry -- a zero-entry BRAM does not
+    exist); a multicast table the base config omitted stays omitted.
+    """
+    required_depth = max(1, observed.queue_depth)
+    depth = _round_up(
+        max(required_depth, math.ceil(required_depth * queue_depth_margin)),
+        depth_round_to,
+    )
+    # The pool must back every queue at the margined depth *and* the worst
+    # pool occupancy actually seen (which can momentarily exceed the sum of
+    # queue peaks while a frame is on the wire).
+    buffer_num = max(depth * base.queue_num, observed.buffer_slots)
+    config = base.with_updates(
+        name=f"{base.name}-sufficient",
+        unicast_size=max(1, observed.unicast),
+        multicast_size=(
+            max(0, observed.multicast) if base.multicast_size > 0 else 0
+        ),
+        class_size=max(1, observed.classification),
+        meter_size=max(1, observed.meters),
+        gate_size=max(1, observed.gate_entries),
+        cbs_map_size=min(base.queue_num, max(1, observed.cbs_map)),
+        cbs_size=max(1, observed.cbs),
+        queue_depth=depth,
+        buffer_num=buffer_num,
+    )
+    config.validate()
+    return config
 
 
 def derive_config(

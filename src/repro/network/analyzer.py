@@ -173,6 +173,34 @@ class TsnAnalyzer:
         )
         return 1.0 - got / expected
 
+    def class_digest(
+        self, expected_by_flow: Dict[int, int]
+    ) -> Dict[str, Dict]:
+        """Per-class QoS digest: received/loss plus latency statistics.
+
+        The one canonical shape shared by ``result_summary`` and campaign
+        worker rows, keyed by traffic-class name; latency fields appear
+        only for classes that received traffic.
+        """
+        digest: Dict[str, Dict] = {}
+        for traffic_class in TrafficClass:
+            received = self.received(traffic_class)
+            entry: Dict = {
+                "received": received,
+                "loss": self.loss_rate(expected_by_flow, traffic_class),
+            }
+            if received:
+                stats = self.class_summary(traffic_class)
+                entry.update(
+                    mean_ns=stats.mean_ns,
+                    jitter_ns=stats.jitter_ns,
+                    min_ns=stats.min_ns,
+                    max_ns=stats.max_ns,
+                    p99_ns=stats.p99_ns,
+                )
+            digest[traffic_class.name] = entry
+        return digest
+
     def deadline_misses(self, traffic_class: TrafficClass) -> int:
         return sum(
             self.records[f.flow_id].deadline_misses

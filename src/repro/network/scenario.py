@@ -41,6 +41,7 @@ from repro.core.sizing import derive_config
 from repro.core.units import mbps, us
 from repro.faults.plan import FaultPlan, validate_faults_dict
 from repro.obs.flowspans import FlowSpanRecorder
+from repro.obs.headroom import HeadroomRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
 from repro.obs.slo import SloPolicy
@@ -84,7 +85,7 @@ _KNOWN_FLOW_KEYS = frozenset(
 _EXPLICIT_TESTBED_KWARGS = frozenset({
     "self", "topology", "config", "flows", "slot_ns", "seed", "use_itp",
     "gate_mechanism", "injection_phase", "tracer", "metrics", "profiler",
-    "spans", "slo_policy", "fault_plan",
+    "spans", "slo_policy", "fault_plan", "headroom",
 })
 
 
@@ -384,17 +385,20 @@ class ScenarioSpec:
         profiler: Optional[WallClockProfiler] = None,
         spans: Optional[FlowSpanRecorder] = None,
         slo_policy: Optional[SloPolicy] = None,
+        headroom: Optional[HeadroomRecorder] = None,
     ) -> Testbed:
         """Instantiate the testbed, optionally with observability attached.
 
-        *metrics*, *tracer*, *profiler* and *spans* thread a
+        *metrics*, *tracer*, *profiler*, *spans* and *headroom* thread a
         :class:`~repro.obs.metrics.MetricsRegistry`, an enabled
-        :class:`~repro.sim.trace.Tracer`, a wall-clock profiler and a
-        :class:`~repro.obs.flowspans.FlowSpanRecorder` through every device
+        :class:`~repro.sim.trace.Tracer`, a wall-clock profiler, a
+        :class:`~repro.obs.flowspans.FlowSpanRecorder` and a
+        :class:`~repro.obs.headroom.HeadroomRecorder` through every device
         -- the hooks behind ``repro simulate --metrics`` /
-        ``--chrome-trace`` / ``--flow-spans``.  *slo_policy* overrides the
-        spec's own ``"slo"`` stanza (used by ``repro slo``); by default the
-        stanza, if present, is parsed and monitored.
+        ``--chrome-trace`` / ``--flow-spans`` / ``--headroom``.
+        *slo_policy* overrides the spec's own ``"slo"`` stanza (used by
+        ``repro slo``); by default the stanza, if present, is parsed and
+        monitored.
         """
         topology = self.build_topology()
         flows = self.build_flows()
@@ -417,6 +421,7 @@ class ScenarioSpec:
                 else self.build_slo_policy()
             ),
             fault_plan=self.build_fault_plan(),
+            headroom=headroom,
             **self.extras,
         )
 
@@ -427,8 +432,9 @@ class ScenarioSpec:
         profiler: Optional[WallClockProfiler] = None,
         spans: Optional[FlowSpanRecorder] = None,
         slo_policy: Optional[SloPolicy] = None,
+        headroom: Optional[HeadroomRecorder] = None,
     ) -> ScenarioResult:
         return self.build_testbed(
             metrics=metrics, tracer=tracer, profiler=profiler,
-            spans=spans, slo_policy=slo_policy,
+            spans=spans, slo_policy=slo_policy, headroom=headroom,
         ).run(duration_ns=self.duration_ns)

@@ -33,6 +33,7 @@ from repro.cqf.schedule import CqfSchedule
 from repro.faults.injector import FaultInjector, FaultReport
 from repro.faults.plan import FaultPlan
 from repro.obs.flowspans import FlowSpanRecorder
+from repro.obs.headroom import HeadroomRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import WallClockProfiler
 from repro.obs.slo import SloMonitor, SloPolicy, SloReport
@@ -79,6 +80,7 @@ class ScenarioResult:
         default_factory=dict
     )
     faults: Optional[FaultReport] = None
+    headroom: Optional[HeadroomRecorder] = None
 
     # ------------------------------------------------------------ shortcuts
 
@@ -123,40 +125,39 @@ class ScenarioResult:
             default=0,
         )
 
+    def headroom_report(
+        self,
+        queue_depth_margin: float = 1.5,
+        depth_round_to: int = 4,
+    ) -> "HeadroomReport":
+        """Observed-vs-provisioned accounting for this run.
+
+        Always available: peaks and table fills come from run state.  When
+        the run was built with a :class:`HeadroomRecorder`, the report
+        additionally carries time-weighted means and occupancy bands.
+        """
+        from repro.obs.headroom import build_headroom_report
+
+        return build_headroom_report(
+            self,
+            self.headroom,
+            queue_depth_margin=queue_depth_margin,
+            depth_round_to=depth_round_to,
+        )
+
     def port_report(self) -> str:
         """Per-port occupancy/drop table -- the sizing-evidence view.
 
         One row per (switch, port): queue high-water vs configured depth,
-        buffer high-water vs pool size, and the drop counters that fire
-        when either is undersized.
+        buffer high-water vs pool size, the drop counters that fire when
+        either is undersized and -- when occupancy probes ran --
+        time-weighted mean occupancies.  Rendered from the headroom
+        report so ``simulate --drops`` and ``repro headroom`` share one
+        occupancy view.
         """
-        from repro.analysis.report import render_table
+        from repro.analysis.report import render_port_occupancy
 
-        rows = []
-        for name, switch in self.switches.items():
-            for port in switch.ports:
-                queue_high = max(
-                    (q.stats.high_water for q in port.queues), default=0
-                )
-                tail = sum(q.stats.tail_drops for q in port.queues)
-                gate = sum(q.stats.gate_drops for q in port.queues)
-                rows.append(
-                    [
-                        f"{name}.p{port.port_id}",
-                        f"{queue_high}/{switch.config.queue_depth}",
-                        f"{port.pool.stats.high_water}/{port.pool.slots}",
-                        str(tail),
-                        str(gate),
-                        str(port.pool.stats.exhaustion_drops),
-                        str(port.preemptions),
-                    ]
-                )
-        return render_table(
-            ["port", "queue hw", "buffer hw", "tail drops", "gate drops",
-             "pool drops", "preemptions"],
-            rows,
-            title="Per-port occupancy and drops",
-        )
+        return render_port_occupancy(self.headroom_report())
 
     def drop_report(self) -> str:
         """Per-switch drop totals broken down by reason.
@@ -263,6 +264,7 @@ class Testbed:
         slo_policy: Optional[SloPolicy] = None,
         gate_events: str = "auto",
         fault_plan: Optional[FaultPlan] = None,
+        headroom: Optional[HeadroomRecorder] = None,
     ) -> None:
         topology.validate()
         config.validate()
@@ -312,6 +314,7 @@ class Testbed:
         self.spans = spans
         self.slo_policy = slo_policy
         self.slo_monitor = None
+        self.headroom = headroom
         if gate_events not in ("auto", "flip", "table"):
             raise ConfigurationError(
                 f"gate_events must be 'auto', 'flip' or 'table', "
@@ -445,6 +448,7 @@ class Testbed:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 spans=self.spans,
+                headroom=self.headroom,
                 gate_events=self.gate_events,
                 name=name,
             )
@@ -946,6 +950,8 @@ class Testbed:
             if self.fault_injector is not None
             else None
         )
+        if self.headroom is not None:
+            self.headroom.finalize(self.sim.now)
         if self.metrics is not None and self.frer_eliminators:
             gauge = self.metrics.gauge(
                 "frer_duplicates_eliminated",
@@ -969,4 +975,5 @@ class Testbed:
             links=self.links,
             frer_eliminators=self.frer_eliminators,
             faults=fault_report,
+            headroom=self.headroom,
         )

@@ -9,6 +9,8 @@ Everything the evaluation needs to *see inside* a run lives here:
 * pre-bound dataplane instruments (:mod:`repro.obs.instruments`);
 * Chrome trace-event / JSONL exporters (:mod:`repro.obs.chrome_trace`);
 * frame-journey span recording (:mod:`repro.obs.flowspans`);
+* resource-headroom probes and observed-vs-provisioned BRAM accounting
+  (:mod:`repro.obs.headroom`);
 * per-flow SLO monitors (:mod:`repro.obs.slo`);
 * ring-buffered time series + Prometheus/CSV export
   (:mod:`repro.obs.timeseries`);
@@ -41,6 +43,13 @@ from .chrome_trace import (
     write_chrome_trace,
 )
 from .flowspans import FlowSpanRecorder, FrameJourney, flow_stats
+from .headroom import (
+    HeadroomRecorder,
+    HeadroomReport,
+    OccupancyProbe,
+    PortHeadroomProbes,
+    build_headroom_report,
+)
 from .instruments import PortInstruments, SwitchInstruments
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_NS,
@@ -75,6 +84,11 @@ __all__ = [
     "FlowSpanRecorder",
     "FrameJourney",
     "flow_stats",
+    "HeadroomRecorder",
+    "HeadroomReport",
+    "OccupancyProbe",
+    "PortHeadroomProbes",
+    "build_headroom_report",
     "SloSpec",
     "SloPolicy",
     "SloMonitor",

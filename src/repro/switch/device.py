@@ -26,6 +26,7 @@ from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError, TopologyError
 from repro.core.units import GIGABIT
 from repro.obs.flowspans import FlowSpanRecorder
+from repro.obs.headroom import HeadroomRecorder, PortHeadroomProbes
 from repro.obs.instruments import PortInstruments, SwitchInstruments
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import LocalClock
@@ -74,6 +75,7 @@ class TsnSwitch:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         spans: Optional[FlowSpanRecorder] = None,
+        headroom: Optional[HeadroomRecorder] = None,
         gate_events: str = "auto",
         name: Optional[str] = None,
     ) -> None:
@@ -105,6 +107,9 @@ class TsnSwitch:
         )
         self._tracer = tracer
         self._spans = spans
+        # Opt-in occupancy probes (repro.obs.headroom); None keeps the
+        # uninstrumented fast path, same contract as metrics/spans.
+        self._headroom = headroom
         # Gate-event discipline for every port's GateEngine: "auto" elides
         # per-cycle flip events whenever nothing observes them (see
         # repro.switch.gates); "flip"/"table" force a mode.
@@ -149,6 +154,14 @@ class TsnSwitch:
             if self.instruments is not None
             else None
         )
+        headroom_probes: Optional[PortHeadroomProbes] = (
+            self._headroom.for_port(
+                self.name, port_id, config.queue_num, config.queue_depth,
+                pool, start_ns=self._sim.now,
+            )
+            if self._headroom is not None
+            else None
+        )
         engine = GateEngine(
             self._sim,
             in_gcl,
@@ -173,6 +186,7 @@ class TsnSwitch:
             tracer=self._tracer,
             instruments=port_instruments,
             spans=self._spans,
+            headroom=headroom_probes,
             name=f"{self.name}.p{port_id}",
         )
         engine.set_on_change(port.kick)
@@ -364,3 +378,36 @@ class TsnSwitch:
     def buffer_high_water(self) -> Dict[int, int]:
         """port -> observed maximum buffer-pool occupancy."""
         return {port.port_id: port.pool.stats.high_water for port in self.ports}
+
+    def table_fill(self) -> Dict[str, int]:
+        """Installed entries per sized table kind (headroom accounting).
+
+        Per-port tables (gate, CBS) report the worst port's fill, matching
+        how the configuration provisions one size for every port.  The
+        ``multicast`` key is present only when the table exists.
+        """
+        fill = {
+            "unicast": len(self.pipeline.unicast),
+            "classification": len(self.pipeline.classification),
+            "meter": len(self.pipeline.meters),
+            "gate": max(
+                (
+                    max(len(engine.in_gcl), len(engine.out_gcl))
+                    for engine in self._gate_engines
+                ),
+                default=0,
+            ),
+            "cbs_map": max(
+                (len(table) for table in self.cbs_map_tables), default=0
+            ),
+            "cbs": max((len(table) for table in self.cbs_tables), default=0),
+        }
+        if self.pipeline.multicast is not None:
+            fill["multicast"] = len(self.pipeline.multicast)
+        return fill
+
+    def meters_in_use(self) -> int:
+        """Installed meters that actually policed at least one frame."""
+        return sum(
+            1 for _, meter in self.pipeline.meters if meter.exercised
+        )

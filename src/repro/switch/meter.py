@@ -89,6 +89,11 @@ class TokenBucketMeter:
         self.stats.violated_bytes += frame_bytes
         return False
 
+    @property
+    def exercised(self) -> bool:
+        """True once any frame has been offered (meter state is "in use")."""
+        return self.stats.offered_frames > 0
+
     def tokens_bytes(self, now_ns: Optional[int] = None) -> float:
         """Current bucket level in bytes (after replenishing to *now_ns*)."""
         if now_ns is not None:

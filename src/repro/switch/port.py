@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.units import serialization_ns, wire_bytes
 from repro.obs.flowspans import FlowSpanRecorder
+from repro.obs.headroom import PortHeadroomProbes
 from repro.obs.instruments import PortInstruments
 from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -104,6 +105,7 @@ class EgressPort:
         tracer: Tracer = NULL_TRACER,
         instruments: Optional[PortInstruments] = None,
         spans: Optional[FlowSpanRecorder] = None,
+        headroom: Optional[PortHeadroomProbes] = None,
         name: str = "port",
     ) -> None:
         if rate_bps <= 0:
@@ -124,6 +126,7 @@ class EgressPort:
         self._tracer = tracer
         self._obs = instruments
         self._spans = spans
+        self._headroom = headroom
         self.name = name
         self._deliver: Optional[DeliverFn] = None
         self._busy_until = 0
@@ -202,6 +205,10 @@ class EgressPort:
         if self._obs is not None:
             self._obs.on_enqueue(target_id, len(queue))
             self._obs.on_buffer(self.pool.in_use)
+        if self._headroom is not None:
+            now = self._sim.now
+            self._headroom.on_queue(target_id, len(queue), now)
+            self._headroom.on_buffer(self.pool.in_use, now)
         if self._spans is not None:
             self._spans.record(
                 self._sim.now, "enqueue", self.name, frame, target_id
@@ -367,6 +374,8 @@ class EgressPort:
             self._obs.on_dequeue(
                 queue.queue_id, len(queue), now - descriptor.enqueued_ns
             )
+        if self._headroom is not None:
+            self._headroom.on_queue(queue.queue_id, len(queue), now)
         if self._spans is not None:
             self._spans.record(
                 now, "dequeue", self.name, descriptor.frame, queue.queue_id
@@ -493,6 +502,8 @@ class EgressPort:
         if self._obs is not None:
             self._obs.on_buffer(self.pool.in_use)
             self._obs.on_transmitted()
+        if self._headroom is not None:
+            self._headroom.on_buffer(self.pool.in_use, self._sim.now)
         if self._spans is not None:
             self._spans.record(
                 self._sim.now, "tx", self.name, tx.descriptor.frame,

@@ -24,6 +24,7 @@ class QueueStats:
     """Occupancy and drop accounting of one queue."""
 
     enqueued: int = 0
+    enqueued_bytes: int = 0
     dequeued: int = 0
     tail_drops: int = 0
     gate_drops: int = 0          # arrived while the in-gate was closed
@@ -67,6 +68,7 @@ class MetadataQueue:
             return False
         self._fifo.append(descriptor)
         self.stats.enqueued += 1
+        self.stats.enqueued_bytes += descriptor.size_bytes
         if len(self._fifo) > self.stats.high_water:
             self.stats.high_water = len(self._fifo)
         return True
@@ -94,6 +96,7 @@ class PoolStats:
     """Allocation accounting of one buffer pool."""
 
     allocations: int = 0
+    allocated_bytes: int = 0
     releases: int = 0
     exhaustion_drops: int = 0
     high_water: int = 0
@@ -140,6 +143,7 @@ class BufferPool:
             return None
         slot = self._free.pop()
         self.stats.allocations += 1
+        self.stats.allocated_bytes += frame.size_bytes
         if self.in_use > self.stats.high_water:
             self.stats.high_water = self.in_use
         return slot

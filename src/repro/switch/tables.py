@@ -65,6 +65,11 @@ class FixedTable(Generic[K, V]):
     def free(self) -> int:
         return self.capacity - len(self._entries)
 
+    @property
+    def utilization(self) -> float:
+        """Installed entries as a fraction of capacity."""
+        return len(self._entries) / self.capacity
+
     def insert(self, key: K, value: V) -> None:
         """Program an entry; raises :class:`CapacityError` when full."""
         if key not in self._entries and len(self._entries) >= self.capacity:
@@ -247,6 +252,11 @@ class GateControlList:
     @property
     def entries(self) -> Tuple[GateEntry, ...]:
         return tuple(self._entries)
+
+    @property
+    def utilization(self) -> float:
+        """Programmed rows as a fraction of capacity."""
+        return len(self._entries) / self.capacity
 
     def append(self, entry: GateEntry) -> None:
         if len(self._entries) >= self.capacity:

@@ -55,6 +55,34 @@ class TestFrontier:
     def test_empty_input(self):
         assert pareto_frontier([]) == []
 
+    def test_points_carry_observed_cost_when_present(self):
+        rows = [_row(0, bram=100, p99=500)]
+        rows[0]["observed_bram_kb"] = 60.0
+        rows[0]["wasted_bram_kb"] = 40.0
+        point = pareto_frontier(rows)[0]
+        assert point["observed_bram_kb"] == 60.0
+        assert point["wasted_bram_kb"] == 40.0
+        # Rows without headroom fields still form frontier points.
+        bare = pareto_frontier([_row(1, bram=100, p99=500)])[0]
+        assert "observed_bram_kb" not in bare
+
+    def test_observed_axis_reranks_frontier(self):
+        # Provisioned: row 0 cheapest.  Observed: row 1 actually needs
+        # less BRAM, so the observed frontier prefers it.
+        cheap = _row(0, bram=100, p99=500)
+        cheap["observed_bram_kb"] = 90.0
+        lean = _row(1, bram=200, p99=400)
+        lean["observed_bram_kb"] = 50.0
+        provisioned = pareto_frontier([cheap, lean])
+        observed = pareto_frontier([cheap, lean],
+                                   bram_key="observed_bram_kb")
+        assert [p["run_id"] for p in provisioned] == ["c:0000", "c:0001"]
+        assert [p["run_id"] for p in observed] == ["c:0001"]
+
+    def test_observed_axis_skips_rows_without_the_field(self):
+        rows = [_row(0, bram=100, p99=500)]
+        assert pareto_frontier(rows, bram_key="observed_bram_kb") == []
+
 
 class TestAggregate:
     def test_counts_and_best(self):
@@ -89,3 +117,15 @@ class TestAggregate:
         summary = aggregate_rows("c", [_row(0, 1, 1, status="timeout")])
         assert summary["best"] is None
         assert "bram_kb" not in summary
+
+    def test_observed_sections_absent_without_headroom_rows(self):
+        summary = aggregate_rows("c", [_row(0, bram=100, p99=500)])
+        assert "observed_pareto" not in summary
+        assert "observed_bram_kb" not in summary
+
+    def test_observed_sections_present_with_headroom_rows(self):
+        row = _row(0, bram=100, p99=500)
+        row["observed_bram_kb"] = 60.0
+        summary = aggregate_rows("c", [row])
+        assert summary["observed_pareto"][0]["run_id"] == "c:0000"
+        assert summary["observed_bram_kb"] == {"min": 60.0, "max": 60.0}

@@ -60,6 +60,24 @@ class TestDeterminism:
             assert row["bram_kb"] > 0
             assert "TS" in row["classes"]
 
+    def test_ok_rows_carry_headroom_accounting(self):
+        summary, rows, _ = _run(workers=1)
+        for line in rows:
+            row = json.loads(line)
+            assert row["observed_bram_kb"] > 0
+            # Wasted = provisioned single config minus cheapest sufficient.
+            assert row["wasted_bram_kb"] == pytest.approx(
+                round(row["bram_kb"] - row["observed_bram_kb"], 3)
+            )
+            digest = row["utilization"]
+            assert "queues" in digest and "buffers" in digest
+            assert all(v >= 0 for v in digest.values())
+            assert row["depth_margin_frames"] >= 0
+        # The aggregate grows an observed frontier alongside the
+        # provisioned one.
+        assert summary["observed_pareto"]
+        assert summary["observed_bram_kb"]["min"] > 0
+
     def test_rows_contain_no_wall_clock(self):
         _, rows, _ = _run(workers=1)
         for line in rows:

@@ -53,6 +53,19 @@ class TestSize:
         assert main(["size", "--topology", "star", "--flows", "16"]) == 0
         assert json.loads(capsys.readouterr().out)["port_num"] == 3
 
+    def test_note_reports_depth_margin(self, capsys):
+        assert main(["size", "--topology", "ring", "--flows", "128"]) == 0
+        captured = capsys.readouterr()
+        config = json.loads(captured.out)
+        import re
+
+        match = re.search(r"ITP needs queue depth (\d+), configured "
+                          r"(\d+) \(\+(\d+) frames margin\)", captured.err)
+        assert match, captured.err
+        required, configured, margin = map(int, match.groups())
+        assert configured == config["queue_depth"]
+        assert margin == configured - required
+
 
 class TestEmitRtl:
     def test_preset(self, tmp_path, capsys):
@@ -177,7 +190,80 @@ class TestSimulate:
     def test_drops_flag_prints_report(self, tmp_path, capsys):
         path = self._scenario(tmp_path)
         assert main(["simulate", str(path), "--drops"]) == 0
-        assert "Drops by reason" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "Drops by reason" in err
+        assert "Per-port occupancy and drops" in err
+
+    def test_headroom_flag_prints_report_and_embeds_summary(
+        self, tmp_path, capsys
+    ):
+        path = self._scenario(tmp_path)
+        assert main(["simulate", str(path), "--headroom"]) == 0
+        captured = capsys.readouterr()
+        assert "Resource headroom" in captured.err
+        summary = json.loads(captured.out)
+        headroom = summary["headroom"]
+        assert headroom["timeweighted"] is True
+        assert headroom["provisioned_bram_kb"] > 0
+        assert headroom["structures"]
+
+    def test_headroom_flag_publishes_prom_gauges(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        out = tmp_path / "metrics.prom"
+        assert main(["simulate", str(path), "--headroom",
+                     "--prom", str(out)]) == 0
+        text = out.read_text()
+        assert "# TYPE headroom_utilization gauge" in text
+        assert "headroom_queue_occupancy_mean" in text
+
+
+class TestHeadroomCommand:
+    def _scenario(self, tmp_path, **overrides):
+        return TestSimulate()._scenario(tmp_path, **overrides)
+
+    def test_renders_tables_and_exits_zero(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["headroom", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "Resource headroom (observed vs provisioned)" in captured.out
+        assert "Per-port occupancy and drops" in captured.out
+        assert "Cheapest sufficient config" in captured.out
+        assert "provisioned" in captured.err
+
+    def test_json_mode_emits_report_schema(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["headroom", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for key in ("provisioned_bram_kb", "sufficient_bram_kb",
+                    "wasted_bram_kb", "utilization", "cheapest_config",
+                    "structures", "ports"):
+            assert key in report, key
+        assert report["timeweighted"] is True
+        assert report["cheapest_bram_kb"] > 0
+
+    def test_csv_and_prom_exports(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        csv_out = tmp_path / "headroom.csv"
+        prom_out = tmp_path / "headroom.prom"
+        assert main(["headroom", str(path), "--csv", str(csv_out),
+                     "--prom", str(prom_out)]) == 0
+        header = csv_out.read_text().splitlines()[0]
+        assert header.startswith("switch,structure,provisioned,peak")
+        assert "# TYPE headroom_utilization gauge" in prom_out.read_text()
+
+    def test_margin_changes_sufficient_sizing(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["headroom", str(path), "--json", "--margin", "8"]) == 0
+        inflated = json.loads(capsys.readouterr().out)
+        assert main(["headroom", str(path), "--json"]) == 0
+        standard = json.loads(capsys.readouterr().out)
+        assert inflated["cheapest_config"]["queue_depth"] >= \
+            standard["cheapest_config"]["queue_depth"]
+
+    def test_bad_scenario_reports_error(self, tmp_path, capsys):
+        path = self._scenario(tmp_path, topology={"kind": "mesh"})
+        assert main(["headroom", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMetricsCommand:

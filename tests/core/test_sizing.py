@@ -126,3 +126,56 @@ class TestGuidelineMechanics:
         # lcm(10ms, 4ms) = 20ms -> 40 slots of 0.5ms
         assert result.schedule.cycle_ns == 20_000_000
         assert result.schedule.slot_count == 40
+
+
+class TestSufficientConfig:
+    """Re-costing at observed demand under the sizing margin policy."""
+
+    def test_depth_margin_and_rounding_match_table1_case2(self):
+        from repro.core.presets import table1_case2
+        from repro.core.sizing import ObservedDemand, sufficient_config
+
+        base = table1_case2()
+        config = sufficient_config(base, ObservedDemand(queue_depth=7))
+        # ceil(7 * 1.5) = 11, rounded up to a multiple of 4 -> 12; and
+        # buffer_num follows as depth x queue_num = 96 (the paper's Case 2
+        # buffer/queue decomposition).
+        assert config.queue_depth == 12
+        assert config.buffer_num == 96
+
+    def test_tables_shrink_to_observed_but_never_zero(self):
+        from repro.core.presets import table1_case2
+        from repro.core.sizing import ObservedDemand, sufficient_config
+
+        base = table1_case2()
+        config = sufficient_config(
+            base, ObservedDemand(queue_depth=1, unicast=10, meters=0)
+        )
+        assert config.unicast_size == 10
+        assert config.meter_size == 1  # a zero-size table cannot validate
+
+    def test_buffer_floor_is_observed_slots(self):
+        from repro.core.presets import table1_case2
+        from repro.core.sizing import ObservedDemand, sufficient_config
+
+        base = table1_case2()
+        config = sufficient_config(
+            base, ObservedDemand(queue_depth=1, buffer_slots=80)
+        )
+        # depth 4 x 8 queues = 32 < observed 80: the pool keeps the
+        # observed demand as its floor.
+        assert config.buffer_num == 80
+
+    def test_result_validates(self):
+        from repro.core.presets import table1_case2
+        from repro.core.sizing import ObservedDemand, sufficient_config
+
+        config = sufficient_config(table1_case2(), ObservedDemand())
+        config.validate()
+
+    def test_depth_margin_frames_property(self):
+        result = derive_config(ring_topology(3), _paper_flows(64), SLOT)
+        assert result.depth_margin_frames == (
+            result.config.queue_depth - result.required_queue_depth
+        )
+        assert result.depth_margin_frames >= 0

@@ -90,6 +90,50 @@ class TestGauge:
         gauge.set(1, port=1)
         assert gauge.max_high_water() == 7
 
+    def test_dec_below_zero_is_not_clamped(self):
+        """Gauges track signed values: dec past zero must go negative
+        (an imbalance a clamp would silently hide)."""
+        gauge = Gauge("g")
+        series = gauge.labels()
+        series.dec(3)
+        assert series.value == -3
+        series.dec()
+        assert series.value == -4
+        assert gauge.value() == -4
+
+    def test_dec_never_moves_high_water(self):
+        gauge = Gauge("g")
+        series = gauge.labels()
+        series.set(6)
+        series.dec(10)   # value -4
+        assert series.value == -4
+        assert series.high_water == 6
+        series.dec(100)  # far below zero: high-water still untouched
+        assert series.high_water == 6
+
+    def test_high_water_of_never_set_series_is_zero(self):
+        gauge = Gauge("g")
+        series = gauge.labels()
+        series.dec(5)
+        assert series.high_water == 0
+        assert gauge.max_high_water() == 0
+
+    def test_labelless_high_water_in_prometheus_exposition(self):
+        from repro.obs.timeseries import prometheus_exposition
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool_in_use")
+        series = gauge.labels()
+        series.set(9)
+        series.dec(7)
+        text = prometheus_exposition(registry)
+        assert "# TYPE pool_in_use gauge" in text
+        assert "\npool_in_use 2" in text
+        # The high-water companion series must appear for label-less
+        # gauges too, with its own TYPE header.
+        assert "# TYPE pool_in_use_high_water gauge" in text
+        assert "\npool_in_use_high_water 9" in text
+
 
 class TestHistogram:
     def test_observations_land_in_correct_buckets(self):
