@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-obs bench-campaign bench-kernel bench-check bench-full examples lint-rtl outputs clean
+.PHONY: install test bench bench-obs bench-campaign bench-kernel bench-sched bench-check bench-full examples lint-rtl outputs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ bench-campaign:
 
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py --output BENCH_kernel.json
+
+bench-sched:
+	$(PYTHON) benchmarks/bench_sched.py --output BENCH_sched.json
 
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench check --suite all

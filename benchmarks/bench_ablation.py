@@ -16,9 +16,9 @@ import pytest
 from repro.core import bram
 from repro.core.presets import customized_config
 from repro.core.units import ms
-from repro.cqf.itp import ItpPlanner, unplanned_plan
 from repro.cqf.schedule import CqfSchedule
 from repro.network.topology import ring_topology
+from repro.sched import SchedulingProblem, make_scheduler
 from repro.traffic.iec60802 import production_cell_flows
 
 from conftest import SLOT_NS, run_scenario
@@ -32,8 +32,11 @@ def test_ablation_itp_queue_requirement(benchmark, scale):
     schedule = CqfSchedule.for_flows(flows.ts_periods(), SLOT_NS)
 
     def plan_both():
-        planned = ItpPlanner(schedule).plan(list(flows))
-        naive = unplanned_plan(schedule, list(flows))
+        problem = SchedulingProblem.from_flows(
+            list(flows), schedule, 10**9
+        )
+        planned = make_scheduler("greedy").solve(problem)
+        naive = make_scheduler("unplanned").solve(problem)
         return planned, naive
 
     planned, naive = benchmark.pedantic(plan_both, rounds=1, iterations=1)

@@ -56,8 +56,8 @@ from repro.bench.kernel import (                           # noqa: E402
 )
 from repro.core import bram                                # noqa: E402
 from repro.core.units import ms                            # noqa: E402
-from repro.cqf.itp import ItpPlanner                       # noqa: E402
 from repro.cqf.schedule import CqfSchedule                 # noqa: E402
+from repro.sched import SchedulingProblem, make_scheduler  # noqa: E402
 from repro.traffic.iec60802 import production_cell_flows   # noqa: E402
 
 
@@ -173,9 +173,11 @@ def test_itp_planner_throughput(benchmark):
         production_cell_flows(["t0", "t1", "t2"], "l", flow_count=1024)
     )
     schedule = CqfSchedule(62_500, ms(10))
+    scheduler = make_scheduler("greedy")
 
     def run():
-        return ItpPlanner(schedule).plan(flows).max_frames_per_slot
+        problem = SchedulingProblem.from_flows(flows, schedule, 10**9)
+        return scheduler.solve(problem).max_frames_per_slot
 
     assert benchmark(run) == 7
 

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Benchmarks of the pluggable scheduling backends (``repro.sched``).
+
+The measurement core lives in :mod:`repro.bench.sched` (so ``repro bench
+check --suite sched`` can gate it without shelling out); this script is
+the human-facing CLI plus the pytest-benchmark tests.
+
+Workloads (see the module docstring for the instance designs):
+
+* ``exact_capped`` -- branch-and-bound node throughput at a fixed node
+  budget (every run explores exactly the same tree prefix).
+* ``anneal``       -- simulated-annealing iteration throughput on a
+  feasible 64-flow mixed-period instance.
+* ``greedy``       -- first-fit placement throughput on 2k uniform flows.
+* ``exact_proof``  -- an exhaustive infeasibility proof; its node count
+  is deterministic, so drift flags a search-behaviour change.
+* ``gap``          -- the shipped greedy-vs-exact queue-depth gap,
+  recorded for exact-equality checking.
+
+Usage::
+
+    python benchmarks/bench_sched.py                      # full measurement
+    python benchmarks/bench_sched.py --smoke              # CI: small + fast
+    python benchmarks/bench_sched.py --output BENCH_sched.json
+    python benchmarks/bench_sched.py --smoke --check BENCH_sched.json
+
+``--check`` compares the measured throughputs against the committed
+baseline and exits 1 on a >25% regression (tunable with ``--tolerance``)
+or on any change in the deterministic gap section; CI runs the same gate
+as ``repro bench check --suite sched --smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.sched import (  # noqa: E402
+    bench_anneal,
+    bench_exact_capped,
+    bench_exact_proof,
+    bench_greedy,
+    gap,
+    measure,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small parameters for CI (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="samples per workload (default: 3)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the baseline JSON here")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_sched.json "
+                             "and fail on throughput regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression for --check "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else 3
+    print(f"# sched benchmarks ({'smoke' if args.smoke else 'full'}, "
+          f"{repeats} repeat(s))", file=sys.stderr)
+    workloads = measure(args.smoke, repeats)
+    gap_section = gap()
+
+    capped = workloads["exact_capped"]
+    proof = workloads["exact_proof"]
+    anneal = workloads["anneal"]
+    greedy = workloads["greedy"]
+    print(f" exact (capped):  {capped['nodes_per_s']:>12,.0f} nodes/s "
+          f"({capped['nodes']:,} nodes)")
+    print(f" exact (proof):   {proof['nodes_per_s']:>12,.0f} nodes/s "
+          f"({proof['nodes']:,} nodes, {proof['status']})")
+    print(f" anneal:          {anneal['iters_per_s']:>12,.0f} iters/s "
+          f"(peak {anneal['peak_frames_per_slot']} frames/slot)")
+    print(f" greedy:          {greedy['flows_per_s']:>12,.0f} flows/s "
+          f"({greedy['flows']:,} flows)")
+    print(f" gap:             greedy depth {gap_section['greedy_depth']} vs "
+          f"exact depth {gap_section['exact_depth']} "
+          f"({gap_section['exact_status']})")
+
+    payload = {
+        "benchmark": "bench_sched",
+        "params": {"smoke": args.smoke, "repeats": repeats},
+        "workloads": workloads,
+        "gap": gap_section,
+    }
+    if not args.smoke:
+        # Smoke-scale reference numbers for the CI regression gate: the
+        # same sizes `--smoke --check` measures, captured on this machine.
+        payload["smoke_reference"] = measure(smoke=True, repeats=repeats)
+    if args.output:
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"# wrote {args.output}", file=sys.stderr)
+    if args.check:
+        from repro.bench.check import check_sched
+
+        return check_sched(args.check, smoke=args.smoke,
+                           tolerance=args.tolerance, repeats=repeats)
+    return 0
+
+
+# ------------------------------------------------------ pytest-benchmark
+
+
+def test_exact_capped_node_throughput(benchmark):
+    """Branch and bound at a 5k node budget."""
+
+    def run():
+        return bench_exact_capped(5_000)["nodes"]
+
+    assert benchmark(run) == 5_000
+
+
+def test_exact_infeasibility_proof(benchmark):
+    """Exhaustive proof: the node count must be identical every run."""
+
+    def run():
+        result = bench_exact_proof()
+        assert result["status"] == "infeasible"
+        return result["nodes"]
+
+    nodes = benchmark(run)
+    assert nodes > 10_000
+
+
+def test_anneal_iteration_throughput(benchmark):
+    """400 seeded annealing iterations on the 64-flow instance."""
+
+    def run():
+        return bench_anneal(400)["peak_frames_per_slot"]
+
+    assert benchmark(run) == 20
+
+
+def test_greedy_placement_throughput(benchmark):
+    """First-fit over 500 uniform flows."""
+
+    def run():
+        return bench_greedy(500, 1_000_000)["status"]
+
+    assert benchmark(run) == "feasible"
+
+
+def test_gap_is_deterministic(benchmark):
+    """The shipped gap instance: greedy strictly deeper than optimal."""
+
+    def run():
+        return gap()
+
+    result = benchmark(run)
+    assert result["exact_status"] == "optimal"
+    assert result["greedy_depth"] > result["exact_depth"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

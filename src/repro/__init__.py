@@ -14,7 +14,10 @@ The public API groups into four layers:
 
 * **Scenario layer** -- topologies, hosts, links, the TSN analyzer and the
   :class:`Testbed` orchestrator (:mod:`repro.network`), traffic profiles
-  (:mod:`repro.traffic`), and CQF scheduling/ITP (:mod:`repro.cqf`).
+  (:mod:`repro.traffic`), CQF slotting/bounds (:mod:`repro.cqf`), and the
+  pluggable flow-scheduling layer (:mod:`repro.sched`: greedy / exact /
+  anneal / unplanned backends behind :func:`make_scheduler`, with CQF,
+  CSQF and Multi-CQF shaper modes).
 
 * **Outputs** -- resource reports (:mod:`repro.analysis.report`), the
   observability layer (:mod:`repro.obs`: :class:`MetricsRegistry`,
@@ -72,6 +75,15 @@ from .cqf.bounds import CqfBounds, cqf_bounds
 from .cqf.schedule import CqfSchedule
 from .faults import FaultInjector, FaultPlan, FaultReport
 from .network.scenario import ScenarioSpec
+from .sched import (
+    SchedPolicy,
+    SchedulePlan,
+    SchedulingProblem,
+    Scheduler,
+    available_backends,
+    make_scheduler,
+    plan_flows,
+)
 from .obs.chrome_trace import write_chrome_trace
 from .obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .obs.profiler import WallClockProfiler
@@ -134,6 +146,13 @@ __all__ = [
     "derive_config",
     "optimize",
     "check_deployment",
+    "Scheduler",
+    "SchedPolicy",
+    "SchedulePlan",
+    "SchedulingProblem",
+    "available_backends",
+    "make_scheduler",
+    "plan_flows",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -105,6 +105,8 @@ def result_summary(result) -> Dict:
             "max_frames_per_slot": result.itp_plan.max_frames_per_slot,
             "load_balance_ratio": result.itp_plan.load_balance_ratio(),
         }
+    if getattr(result, "sched_plan", None) is not None:
+        summary["sched"] = result.sched_plan.summary()
     return summary
 
 

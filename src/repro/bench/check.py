@@ -1,8 +1,8 @@
 """The bench trajectory checker behind ``repro bench check``.
 
-Loads the committed baselines (``BENCH_kernel.json`` / ``BENCH_obs.json``),
-re-measures the corresponding workloads fresh, and compares with
-noise-aware thresholds:
+Loads the committed baselines (``BENCH_kernel.json`` / ``BENCH_obs.json``
+/ ``BENCH_sched.json``), re-measures the corresponding workloads fresh,
+and compares with noise-aware thresholds:
 
 * **kernel** -- each gated workload's throughput must stay within
   ``tolerance`` (default 25%) of the baseline.  Smoke runs compare
@@ -15,6 +15,11 @@ noise-aware thresholds:
   to metrics mode is gated separately at the recorded
   ``headroom_overhead`` plus ``HEADROOM_TOLERANCE`` (2 points) -- the
   probes are meant to be cheap enough to leave always-on.
+* **sched** -- each gated scheduling-backend workload's throughput must
+  stay within ``tolerance`` (default 25%) of the baseline, and the
+  deterministic greedy-vs-exact ``gap`` section must match the baseline
+  exactly (the backends are seeded and wall-clock-free, so any drift
+  there is a behaviour change, not noise).
 
 Shared-runner noise protection in both suites: a measurement that looks
 regressed is re-taken a few more times and judged on the best sample seen
@@ -34,13 +39,16 @@ from typing import Optional, Union
 
 from . import kernel as bench_kernel
 from . import obs as bench_obs
+from . import sched as bench_sched
 
 __all__ = [
     "KERNEL_TOLERANCE",
     "OBS_TOLERANCE",
     "HEADROOM_TOLERANCE",
+    "SCHED_TOLERANCE",
     "check_kernel",
     "check_obs",
+    "check_sched",
     "run_check",
 ]
 
@@ -55,6 +63,9 @@ OBS_TOLERANCE = 0.05
 #: Tighter than OBS_TOLERANCE: the probes' acceptance bar is "cheap
 #: enough to leave on", so drift is capped at two points.
 HEADROOM_TOLERANCE = 0.02
+
+#: Allowed fractional throughput regression for the scheduling backends.
+SCHED_TOLERANCE = 0.25
 
 #: Remeasure attempts before a regressed-looking sample is believed.
 NOISE_RETRIES = 4
@@ -195,11 +206,79 @@ def check_obs(
     return 0
 
 
+def check_sched(
+    baseline_path: Union[str, Path],
+    smoke: bool = False,
+    tolerance: Optional[float] = None,
+    repeats: int = 3,
+) -> int:
+    """Gate the scheduling backends against ``BENCH_sched.json``.
+
+    Two kinds of gate: the throughput trio is noise-tolerant (same
+    remeasure-on-regression protocol as the kernel suite), while the
+    ``gap`` section is compared for exact equality -- the backends are
+    deterministic, so any drift there is a behaviour change, not noise.
+    """
+    tolerance = SCHED_TOLERANCE if tolerance is None else tolerance
+    baseline = _load_baseline(baseline_path, "sched")
+    if baseline is None:
+        return 2
+    section = "smoke_reference" if smoke else "workloads"
+    reference = baseline.get(section, {})
+    if not reference:
+        print(f"# bench check [sched]: baseline has no {section!r} "
+              f"section", file=sys.stderr)
+        return 2
+    fns = bench_sched.samplers(smoke)
+    workloads = bench_sched.measure_gated(smoke, repeats)
+    failures = []
+    for name, key in bench_sched.GATED:
+        ref = reference.get(name, {}).get(key)
+        if ref is None:
+            continue
+        got = workloads[name][key]
+        retries = 0
+        while got / ref < 1.0 - tolerance and retries < NOISE_RETRIES:
+            got = max(got, fns[name][0]()[key])
+            retries += 1
+        ratio = got / ref
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"# check {name}.{key}: {got:,.0f} vs baseline {ref:,.0f} "
+              f"({(ratio - 1) * 100:+.1f}%, {retries} remeasure(s)) {status}",
+              file=sys.stderr)
+        if ratio < 1.0 - tolerance:
+            failures.append(name)
+    recorded_gap = baseline.get("gap")
+    if recorded_gap is None:
+        print("# bench check [sched]: baseline has no 'gap' section; "
+              "equality gate skipped (regenerate with "
+              "benchmarks/bench_sched.py)", file=sys.stderr)
+    else:
+        measured_gap = bench_sched.gap()
+        status = "ok" if measured_gap == recorded_gap else "CHANGED"
+        print(f"# check gap: greedy depth {measured_gap['greedy_depth']} / "
+              f"exact depth {measured_gap['exact_depth']} "
+              f"({measured_gap['exact_status']}, "
+              f"{measured_gap['exact_nodes']} nodes) {status}",
+              file=sys.stderr)
+        if measured_gap != recorded_gap:
+            print(f"# gap section drifted from baseline {recorded_gap}; "
+                  f"a scheduling backend changed behaviour",
+                  file=sys.stderr)
+            failures.append("gap")
+    if failures:
+        print(f"# sched regression in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_check(
     suite: str = "all",
     smoke: bool = False,
     kernel_baseline: Union[str, Path] = "BENCH_kernel.json",
     obs_baseline: Union[str, Path] = "BENCH_obs.json",
+    sched_baseline: Union[str, Path] = "BENCH_sched.json",
     tolerance: Optional[float] = None,
 ) -> int:
     """Run the selected suite(s); worst exit status wins."""
@@ -211,5 +290,9 @@ def run_check(
     if suite in ("obs", "all"):
         statuses.append(
             check_obs(obs_baseline, smoke=smoke, tolerance=tolerance)
+        )
+    if suite in ("sched", "all"):
+        statuses.append(
+            check_sched(sched_baseline, smoke=smoke, tolerance=tolerance)
         )
     return max(statuses) if statuses else 2

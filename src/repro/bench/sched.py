@@ -1,0 +1,199 @@
+"""Scheduling-backend benchmark workloads (the ``BENCH_sched.json`` set).
+
+Measurement half of the ``repro bench check --suite sched`` gate; the
+``benchmarks/bench_sched.py`` script is the CLI and delegates here.
+
+Three throughput workloads are gated:
+
+* ``exact_capped`` -- branch-and-bound node throughput on a
+  byte-constrained instance where the greedy incumbent is not provably
+  optimal, capped at a fixed node budget so every run explores exactly
+  the same number of nodes (the metric is pure nodes/s).
+* ``anneal`` -- simulated-annealing iteration throughput on a feasible
+  64-flow mixed-period instance (the backend levels the peak to the
+  pigeonhole bound, so the run also sanity-checks the move kernel).
+* ``greedy`` -- first-fit placement throughput on a large uniform set.
+
+Two deterministic sections ride along ungated-by-tolerance:
+
+* ``exact_proof`` -- an exhaustive infeasibility proof (every run must
+  explore the identical node count; drift means the search changed).
+* ``gap`` -- the shipped greedy-vs-exact queue-depth gap; checked for
+  exact equality by the suite gate, since any change is a behaviour
+  change in a backend, not noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.cqf.schedule import CqfSchedule
+from repro.traffic.flows import FlowSpec, TrafficClass
+
+__all__ = [
+    "GATED",
+    "bench_exact_capped",
+    "bench_exact_proof",
+    "bench_anneal",
+    "bench_greedy",
+    "gap",
+    "samplers",
+    "measure",
+    "measure_gated",
+]
+
+#: Workloads whose throughput the regression gate watches.
+GATED: Tuple[Tuple[str, str], ...] = (
+    ("exact_capped", "nodes_per_s"),
+    ("anneal", "iters_per_s"),
+    ("greedy", "flows_per_s"),
+)
+
+SLOT_NS = 50_000
+
+
+def _tight_flows(count: int, period_ns: int) -> List[FlowSpec]:
+    """Near-MTU flows with distinct sizes: byte-constrained, no twins.
+
+    Two frames fill a slot's utilization budget, so placements conflict
+    by bytes while the per-slot frame bound stays loose -- the shape that
+    forces the exact search to actually branch instead of accepting the
+    greedy seed at the root.
+    """
+    return [
+        FlowSpec(i, TrafficClass.TS, "talker", "listener",
+                 1400 + 4 * i, period_ns=period_ns)
+        for i in range(count)
+    ]
+
+
+def _solve(flows: List[FlowSpec], backend: str, **options) -> Tuple[Any, float]:
+    from repro.sched import SchedulingProblem, make_scheduler
+
+    schedule = CqfSchedule.for_flows([f.period_ns for f in flows], SLOT_NS)
+    problem = SchedulingProblem.from_flows(flows, schedule, 10**9)
+    scheduler = make_scheduler(backend, **options)
+    start = time.perf_counter()
+    plan = scheduler.solve(problem)
+    return plan, time.perf_counter() - start
+
+
+def bench_exact_capped(node_limit: int) -> Dict[str, Any]:
+    """Node-limited branch and bound: exactly ``node_limit`` nodes."""
+    plan, elapsed = _solve(_tight_flows(13, 300_000), "exact",
+                           node_limit=node_limit)
+    return {
+        "status": plan.status,
+        "nodes": plan.nodes_explored,
+        "nodes_per_s": plan.nodes_explored / elapsed,
+    }
+
+
+def bench_exact_proof() -> Dict[str, Any]:
+    """Exhaustive infeasibility proof: 9 two-to-a-slot flows, 8 seats."""
+    plan, elapsed = _solve(_tight_flows(9, 200_000), "exact")
+    return {
+        "status": plan.status,
+        "nodes": plan.nodes_explored,
+        "nodes_per_s": plan.nodes_explored / elapsed,
+    }
+
+
+def bench_anneal(iterations: int) -> Dict[str, Any]:
+    """Seeded annealing on a feasible 64-flow mixed-period instance."""
+    flows = [
+        FlowSpec(i, TrafficClass.TS, "talker", "listener",
+                 64 + 16 * (i % 4),
+                 period_ns=100_000 if i % 2 else 400_000)
+        for i in range(64)
+    ]
+    plan, elapsed = _solve(flows, "anneal", iterations=iterations)
+    return {
+        "status": plan.status,
+        "peak_frames_per_slot": plan.max_frames_per_slot,
+        "iterations": iterations,
+        "iters_per_s": iterations / elapsed,
+    }
+
+
+def bench_greedy(flow_count: int, period_ns: int) -> Dict[str, Any]:
+    """First-fit placement over a large uniform flow set."""
+    flows = [
+        FlowSpec(i, TrafficClass.TS, "talker", "listener", 64,
+                 period_ns=period_ns)
+        for i in range(flow_count)
+    ]
+    plan, elapsed = _solve(flows, "greedy")
+    return {
+        "status": plan.status,
+        "flows": flow_count,
+        "flows_per_s": flow_count / elapsed,
+    }
+
+
+def gap() -> Dict[str, Any]:
+    """Greedy-vs-exact queue-depth gap on the shipped star instance.
+
+    Deterministic by construction (no wall-clock content): the same
+    five flows behind ``examples/sched_gap_sweep.json``.  The checker
+    compares this section for exact equality.
+    """
+    flows = [
+        FlowSpec(i, TrafficClass.TS, f"talker{i % 3}", "listener", 64,
+                 period_ns=100_000)
+        for i in range(3)
+    ] + [
+        FlowSpec(3 + i, TrafficClass.TS, f"talker{i}", "listener", 512,
+                 period_ns=200_000)
+        for i in range(2)
+    ]
+    greedy, _ = _solve(flows, "greedy")
+    exact, _ = _solve(flows, "exact")
+    return {
+        "greedy_depth": greedy.required_queue_depth,
+        "exact_depth": exact.required_queue_depth,
+        "exact_status": exact.status,
+        "exact_nodes": exact.nodes_explored,
+        "peak_lower_bound": exact.problem.peak_lower_bound(),
+    }
+
+
+def samplers(smoke: bool) -> Dict[str, Tuple[Callable[[], dict], str]]:
+    """name -> (callable, throughput key) at the given scale."""
+    node_limit = 20_000 if smoke else 200_000
+    iterations = 800 if smoke else 4_000
+    greedy_flows = 500 if smoke else 2_000
+    greedy_period = 1_000_000 if smoke else 4_000_000
+    return {
+        "exact_capped": (
+            lambda: bench_exact_capped(node_limit), "nodes_per_s"
+        ),
+        "anneal": (lambda: bench_anneal(iterations), "iters_per_s"),
+        "greedy": (
+            lambda: bench_greedy(greedy_flows, greedy_period), "flows_per_s"
+        ),
+        "exact_proof": (bench_exact_proof, "nodes_per_s"),
+    }
+
+
+def _best(fns: Dict[str, Tuple[Callable[[], dict], str]],
+          name: str, repeats: int) -> dict:
+    fn, key = fns[name]
+    fn()  # warm-up: first run pays allocator/cache/branch warmup
+    samples = [fn() for _ in range(repeats)]
+    return max(samples, key=lambda s: s[key])
+
+
+def measure_gated(smoke: bool, repeats: int = 3) -> Dict[str, dict]:
+    """Measure only the gated workload trio (the regression-check set)."""
+    fns = samplers(smoke)
+    return {name: _best(fns, name, repeats) for name, _ in GATED}
+
+
+def measure(smoke: bool, repeats: int = 3) -> Dict[str, dict]:
+    """Gated trio plus the deterministic proof workload."""
+    fns = samplers(smoke)
+    workloads = measure_gated(smoke, repeats)
+    workloads["exact_proof"] = _best(fns, "exact_proof", repeats)
+    return workloads

@@ -37,6 +37,8 @@ def _frontier_point(row: Dict[str, Any]) -> Dict[str, Any]:
         point["observed_bram_kb"] = row["observed_bram_kb"]
     if "wasted_bram_kb" in row:
         point["wasted_bram_kb"] = row["wasted_bram_kb"]
+    if "sched" in row:
+        point["sched"] = row["sched"]
     return point
 
 
@@ -125,4 +127,39 @@ def aggregate_rows(
             summary["ts_p99_ns"] = {
                 "min": min(latencies), "max": max(latencies),
             }
+        sched_digest = _sched_digest(ok_rows)
+        if sched_digest:
+            summary["sched"] = sched_digest
     return summary
+
+
+def _sched_digest(ok_rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-backend extremes: the greedy-vs-optimal gap at a glance.
+
+    Groups QoS-relevant outcomes by scheduling backend so a sweep over
+    ``sched.backend`` reads off admission/depth/BRAM gaps without digging
+    through rows.  Empty when no row carries a ``sched`` measurement.
+    """
+    by_backend: Dict[str, List[Dict[str, Any]]] = {}
+    for row in ok_rows:
+        sched = row.get("sched")
+        if sched:
+            by_backend.setdefault(sched["backend"], []).append(row)
+    digest: Dict[str, Any] = {}
+    for backend in sorted(by_backend):
+        group = by_backend[backend]
+        plans = [r["sched"] for r in group]
+        entry: Dict[str, Any] = {
+            "runs": len(group),
+            "statuses": sorted({p["status"] for p in plans}),
+            "admission_rate_min": min(p["admission_rate"] for p in plans),
+            "required_queue_depth_max": max(
+                p["required_queue_depth"] for p in plans
+            ),
+        }
+        brams = [r["bram_kb"] for r in group if r.get("bram_kb") is not None]
+        if brams:
+            entry["bram_kb_min"] = min(brams)
+            entry["bram_kb_max"] = max(brams)
+        digest[backend] = entry
+    return digest

@@ -159,6 +159,16 @@ def _measurements(result, config) -> Dict[str, Any]:
         measurements["depth_margin_frames"] = (
             config.queue_depth - result.itp_plan.required_queue_depth
         )
+    if result.sched_plan is not None:
+        plan = result.sched_plan
+        measurements["sched"] = {
+            "backend": plan.backend,
+            "status": plan.status,
+            "admitted": plan.admitted_count,
+            "demanded": plan.demand_count,
+            "admission_rate": round(plan.admission_rate, 6),
+            "required_queue_depth": plan.required_queue_depth,
+        }
     if slo is not None:
         measurements["slo"] = {
             "passed": slo.passed,

@@ -35,6 +35,11 @@ Five commands wrap the library's main workflows:
     every flow-definition deadline) and print per-flow pass/fail verdicts.
     Exit code 0 = all monitored flows pass, 1 = violations, 2 = nothing
     monitored.
+``sched``
+    Plan a scenario's TS flows with one scheduling backend (or all of
+    them with ``--compare``) without simulating: admission, per-slot
+    peak, the derived queue depth and total BRAM per backend, plus
+    optimality/infeasibility proofs from the ``exact`` backend.
 ``sweep``
     Expand a declarative sweep document (see
     :class:`repro.campaign.SweepSpec`) into concrete scenarios and run
@@ -51,9 +56,9 @@ Five commands wrap the library's main workflows:
     (optionally following it like ``tail -f``).
 ``bench check``
     Re-measure the tracked benchmark workloads and compare them against
-    the committed baselines (``BENCH_kernel.json`` / ``BENCH_obs.json``)
-    with noise-aware thresholds; exit 1 on regression.  This is the CI
-    regression gate.
+    the committed baselines (``BENCH_kernel.json`` / ``BENCH_obs.json``
+    / ``BENCH_sched.json``) with noise-aware thresholds; exit 1 on
+    regression.  This is the CI regression gate.
 ``faults``
     Run a scenario that declares a ``"faults"`` stanza (see
     :mod:`repro.faults`) and print the recovery summary: the executed
@@ -272,6 +277,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip strict scenario validation (unknown "
                              "keys pass through to the testbed)")
 
+    sched = commands.add_parser(
+        "sched",
+        help="plan a scenario's TS flows with a scheduling backend "
+             "(no simulation) and report the admission/queue-depth/BRAM "
+             "outcome",
+    )
+    sched.add_argument("scenario", type=Path)
+    sched.add_argument("--backend", default=None,
+                       help="override the scenario's sched.backend "
+                            "(greedy, exact, anneal, unplanned)")
+    sched.add_argument("--compare", action="store_true",
+                       help="run every registered backend and tabulate "
+                            "the greedy-vs-optimal gaps")
+    sched.add_argument("--json", action="store_true",
+                       help="emit the plan summaries as JSON")
+    sched.add_argument("--no-strict", action="store_true",
+                       help="skip strict scenario validation (unknown "
+                            "keys pass through to the testbed)")
+
     sweep = commands.add_parser(
         "sweep",
         help="run a declarative scenario sweep across a process pool",
@@ -339,7 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-measure tracked workloads and compare against the "
              "committed baselines; exit 1 on regression",
     )
-    bench_check.add_argument("--suite", choices=["kernel", "obs", "all"],
+    bench_check.add_argument("--suite",
+                             choices=["kernel", "obs", "sched", "all"],
                              default="all",
                              help="which baseline(s) to gate (default: all)")
     bench_check.add_argument("--smoke", action="store_true",
@@ -353,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                              default=Path("BENCH_obs.json"),
                              help="obs-overhead baseline file "
                                   "(default: BENCH_obs.json)")
+    bench_check.add_argument("--sched-baseline", type=Path,
+                             default=Path("BENCH_sched.json"),
+                             help="scheduling-backend baseline file "
+                                  "(default: BENCH_sched.json)")
     bench_check.add_argument("--tolerance", type=float, default=None,
                              help="override the regression tolerance "
                                   "fraction (default: suite-specific)")
@@ -701,6 +730,78 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.sched import SchedPolicy, available_backends, plan_flows
+
+    spec = ScenarioSpec.from_file(args.scenario, strict=not args.no_strict)
+    policy = spec.build_sched_policy() or SchedPolicy(
+        backend="greedy" if spec.use_itp else "unplanned"
+    )
+    if args.backend:
+        policy = dataclasses.replace(policy, backend=args.backend)
+    topology = spec.build_topology()
+    flows = spec.build_flows()
+    backends = (
+        sorted(available_backends()) if args.compare else [policy.backend]
+    )
+
+    rows = []
+    for backend in backends:
+        per_backend = dataclasses.replace(policy, backend=backend)
+        plan = plan_flows(list(flows), spec.slot_ns, policy=per_backend)
+        entry = plan.summary()
+        entry["shaper"] = per_backend.shaper
+        try:
+            sizing = derive_config(
+                topology, flows, spec.slot_ns,
+                name=f"{spec.name}-{backend}",
+                gate_mechanism=spec.gate_mechanism,
+                sched=per_backend,
+            )
+            entry["configured_queue_depth"] = sizing.config.queue_depth
+            entry["bram_kb"] = sizing.config.total_bram_kb
+        except TsnBuilderError as exc:
+            entry["sizing_error"] = str(exc)
+        rows.append(entry)
+
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "slot_us": spec.slot_us,
+            "shaper": policy.shaper,
+            "plans": rows,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        header = (f"{'backend':<10} {'status':<11} {'admitted':>8} "
+                  f"{'peak':>5} {'depth':>6} {'BRAM Kb':>8}")
+        print(header)
+        print("-" * len(header))
+        for entry in rows:
+            admitted = f"{entry['admitted']}/{entry['demanded']}"
+            depth = entry.get("configured_queue_depth", "-")
+            bram = entry.get("bram_kb", "-")
+            bram_s = f"{bram:g}" if isinstance(bram, (int, float)) else bram
+            print(f"{entry['backend']:<10} {entry['status']:<11} "
+                  f"{admitted:>8} {entry['peak_frames_per_slot']:>5} "
+                  f"{depth!s:>6} {bram_s:>8}")
+    for entry in rows:
+        if entry["status"] == "optimal":
+            print(f"# {entry['backend']}: proved peak "
+                  f"{entry['peak_frames_per_slot']} frames/slot optimal "
+                  f"(lower bound "
+                  f"{entry.get('peak_lower_bound', '?')}, "
+                  f"{entry['nodes_explored']} nodes)", file=sys.stderr)
+        elif entry["status"] == "infeasible":
+            print(f"# {entry['backend']}: proved infeasible at slot "
+                  f"{spec.slot_us:g}us", file=sys.stderr)
+    if not args.compare and rows[0]["status"] in ("infeasible", "unknown"):
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.campaign import Campaign, SweepSpec
 
@@ -809,6 +910,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         kernel_baseline=args.kernel_baseline,
         obs_baseline=args.obs_baseline,
+        sched_baseline=args.sched_baseline,
         tolerance=args.tolerance,
     )
 
@@ -821,6 +923,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "headroom": _cmd_headroom,
     "slo": _cmd_slo,
+    "sched": _cmd_sched,
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
     "tail": _cmd_tail,

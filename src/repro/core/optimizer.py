@@ -30,7 +30,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.cqf.bounds import cqf_bounds
-from repro.cqf.itp import ItpPlanner
 from repro.cqf.schedule import CqfSchedule, scheduling_cycle_ns
 from repro.traffic.flows import FlowSet
 from .config import SwitchConfig

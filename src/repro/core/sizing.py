@@ -31,7 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cqf.itp import ItpPlan, ItpPlanner
+from repro.cqf.itp import ItpPlan
 from repro.cqf.schedule import CqfSchedule, scheduling_cycle_ns
 from repro.traffic.flows import FlowSet
 from .config import SwitchConfig
@@ -51,8 +51,14 @@ class SizingResult:
 
     config: SwitchConfig
     schedule: CqfSchedule
-    itp_plan: ItpPlan
+    itp_plan: Optional[ItpPlan]
     required_queue_depth: int
+    #: The scheduling-layer plan behind guideline 4 (a
+    #: :class:`~repro.sched.SchedulePlan`, or a
+    #: :class:`~repro.sched.MultiSchedulePlan` under the multi_cqf shaper,
+    #: where ``itp_plan`` has no faithful single-schedule projection and
+    #: is ``None``).
+    sched_plan: Optional[object] = None
 
     @property
     def depth_margin_frames(self) -> int:
@@ -143,6 +149,7 @@ def derive_config(
     rate_bps: int = 10**9,
     max_enabled_ports: Optional[int] = None,
     replication_factor: int = 1,
+    sched: Optional["SchedPolicy"] = None,
 ) -> SizingResult:
     """Apply the five guidelines to one scenario.
 
@@ -154,13 +161,27 @@ def derive_config(
     two-entry gate tables of the evaluation; ``"qbv"`` sizes for a general
     802.1Qbv schedule with one entry per slot of the scheduling cycle.
 
+    ``sched`` is the flow-scheduling policy (backend, shaper, objective)
+    behind guideline 4 -- the default reproduces the historic greedy ITP
+    figures byte for byte.  The shaper feeds back into guideline 2: CSQF's
+    three-queue rotation needs 3 gate entries, Multi-CQF one entry per
+    base slot of its merged hyper-cycle.
+
     ``replication_factor`` scales the per-flow table entries for redundant
     transmission: FRER (802.1CB) sends each TS flow as two member streams,
     each needing its own classification/forwarding/meter entry, so pass 2.
     """
+    from repro.sched import SchedPolicy, plan_flows
+    from repro.sched.problem import SchedulePlan
+
     if gate_mechanism not in ("cqf", "qbv"):
         raise SchedulingError(
             f"unknown gate mechanism {gate_mechanism!r}; use 'cqf' or 'qbv'"
+        )
+    sched = sched or SchedPolicy()
+    if gate_mechanism == "qbv" and sched.shaper != "cqf":
+        raise SchedulingError(
+            f"shaper {sched.shaper!r} requires gate_mechanism='cqf'"
         )
     if max_enabled_ports is None:
         max_enabled_ports = topology.max_enabled_ports
@@ -178,14 +199,22 @@ def derive_config(
         raise SchedulingError("sizing needs at least one TS flow")
     cycle_ns = scheduling_cycle_ns(periods)
     schedule = CqfSchedule.for_flows(periods, slot_ns)
-    if gate_mechanism == "cqf":
-        gate_size = 2
-    else:
+    if gate_mechanism != "cqf":
         gate_size = schedule.slot_count
+    elif sched.shaper == "csqf":
+        gate_size = 3
+    elif sched.shaper == "multi_cqf":
+        from repro.cqf.gcl_gen import multi_cqf_gate_entry_count
 
-    # Guideline 4: queue depth from the ITP plan's worst per-slot load.
-    planner = ItpPlanner(schedule, rate_bps)
-    plan = planner.plan(list(flows))
+        gate_size = multi_cqf_gate_entry_count(
+            slot_ns, sched.slot2_ns(slot_ns)
+        )
+    else:
+        gate_size = 2
+
+    # Guideline 4: queue depth from the plan's worst per-slot load.
+    plan = plan_flows(list(flows), slot_ns, rate_bps, policy=sched)
+    plan.raise_if_infeasible()
     required_depth = max(1, plan.required_queue_depth)
     depth = _round_up(
         max(required_depth, math.ceil(required_depth * queue_depth_margin)),
@@ -213,6 +242,9 @@ def derive_config(
     return SizingResult(
         config=config,
         schedule=schedule,
-        itp_plan=plan,
+        itp_plan=(
+            plan.to_itp_plan() if isinstance(plan, SchedulePlan) else None
+        ),
         required_queue_depth=required_depth,
+        sched_plan=plan,
     )

@@ -28,8 +28,8 @@ from typing import List, Optional
 from repro.core.config import SwitchConfig
 from repro.core.errors import SchedulingError
 from repro.cqf.bounds import cqf_bounds
-from repro.cqf.itp import ItpPlanner
 from repro.cqf.schedule import CqfSchedule
+from repro.sched import plan_flows
 from repro.traffic.flows import FlowSet, TrafficClass
 
 __all__ = ["Severity", "Violation", "check_deployment"]
@@ -115,7 +115,8 @@ def check_deployment(
     if gate_mechanism == "cqf" and config.gate_size < 2:
         error("gate_tbl", "CQF needs 2 gate entries per list")
     try:
-        plan = ItpPlanner(schedule, rate_bps).plan(list(flows))
+        plan = plan_flows(list(flows), slot_ns, rate_bps)
+        plan.raise_if_infeasible()
     except SchedulingError as exc:
         error("itp", str(exc))
         return violations

@@ -19,6 +19,19 @@ So arrivals during a slot gather in one queue while the previous slot's
 gathered packets drain from the other; the roles swap each slot boundary.
 Non-TS queues stay open in every entry -- RC/BE traffic is regulated by
 priority and CBS, not by gates.
+
+Two sibling shaper modes share the machinery:
+
+* **CSQF** (:func:`csqf_gcl_entries`): the cycle-specified variant rotates
+  *three* queues -- in-gate entry ``i`` gathers into ``queues[i]`` while
+  out-gate entry ``i`` drains ``queues[(i + 1) % 3]``, so a queue gathered
+  during slot ``s`` drains during slot ``s + 2``, buying one slot of
+  tolerance per hop at the cost of one more gated queue (``gate_size = 3``).
+* **Multi-CQF** (:func:`multi_cqf_gcl_entries`): two independent CQF
+  systems on the same port, each rotating its own queue group at its own
+  slot length.  The merged GCL covers one hyper-cycle
+  (``2 * slot2``, with ``slot2`` a multiple of the base slot) in uniform
+  base-slot segments.
 """
 
 from __future__ import annotations
@@ -26,13 +39,30 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.core.errors import SchedulingError
-from repro.switch.gates import CqfPair
+from repro.switch.gates import CqfGroup, CqfPair
 from repro.switch.tables import GateEntry
 
-__all__ = ["cqf_gcl_entries", "DEFAULT_TS_QUEUE_PAIR", "cqf_port_program"]
+__all__ = [
+    "cqf_gcl_entries",
+    "cqf_port_program",
+    "csqf_gcl_entries",
+    "csqf_port_program",
+    "multi_cqf_gcl_entries",
+    "multi_cqf_port_program",
+    "multi_cqf_gate_entry_count",
+    "DEFAULT_TS_QUEUE_PAIR",
+    "DEFAULT_TS_QUEUE_TRIPLE",
+    "DEFAULT_MULTI_CQF_GROUPS",
+]
 
 #: The evaluation maps TS traffic to the two highest-priority queues.
 DEFAULT_TS_QUEUE_PAIR: Tuple[int, int] = (6, 7)
+
+#: CSQF claims one more high-priority queue for its three-way rotation.
+DEFAULT_TS_QUEUE_TRIPLE: Tuple[int, int, int] = (5, 6, 7)
+
+#: Multi-CQF queue groups: (base-slot system, long-slot system).
+DEFAULT_MULTI_CQF_GROUPS: Tuple[Tuple[int, int], ...] = ((6, 7), (4, 5))
 
 
 def _mask_of(queues: Sequence[int]) -> int:
@@ -85,3 +115,130 @@ def cqf_port_program(
     """
     in_entries, out_entries = cqf_gcl_entries(slot_ns, pair, queue_num)
     return in_entries, out_entries, [CqfPair(*pair)]
+
+
+def _check_group(
+    queues: Sequence[int], queue_num: int, label: str
+) -> None:
+    if len(set(queues)) != len(queues):
+        raise SchedulingError(
+            f"{label} must use distinct queues, got {tuple(queues)}"
+        )
+    for queue in queues:
+        if queue >= queue_num:
+            raise SchedulingError(
+                f"{label} queue {queue} outside the {queue_num} "
+                f"configured queues"
+            )
+
+
+def csqf_gcl_entries(
+    slot_ns: int,
+    triple: Tuple[int, int, int] = DEFAULT_TS_QUEUE_TRIPLE,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry]]:
+    """Build the (in_entries, out_entries) three-entry CSQF lists.
+
+    Entry ``i`` gathers into ``triple[i]`` and drains
+    ``triple[(i + 1) % 3]``; with a two-queue group the same rotation
+    degenerates to classic CQF, which is the property the gate tests pin.
+    """
+    if slot_ns <= 0:
+        raise SchedulingError(f"slot size must be positive, got {slot_ns}")
+    if len(triple) != 3:
+        raise SchedulingError(
+            f"CSQF needs exactly three queues, got {tuple(triple)}"
+        )
+    _check_group(triple, queue_num, "CSQF")
+    non_ts = _mask_of([q for q in range(queue_num) if q not in triple])
+    in_entries = [
+        GateEntry(non_ts | (1 << triple[i]), slot_ns) for i in range(3)
+    ]
+    out_entries = [
+        GateEntry(non_ts | (1 << triple[(i + 1) % 3]), slot_ns)
+        for i in range(3)
+    ]
+    return in_entries, out_entries
+
+
+def csqf_port_program(
+    slot_ns: int,
+    triple: Tuple[int, int, int] = DEFAULT_TS_QUEUE_TRIPLE,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry], List[CqfGroup]]:
+    """Everything ``program_gcls`` needs for one CSQF port."""
+    in_entries, out_entries = csqf_gcl_entries(slot_ns, triple, queue_num)
+    return in_entries, out_entries, [CqfGroup(*triple)]
+
+
+def multi_cqf_gate_entry_count(slot_ns: int, slot2_ns: int) -> int:
+    """Entries per GCL of a Multi-CQF port (drives ``gate_size`` sizing)."""
+    if slot_ns <= 0:
+        raise SchedulingError(f"slot size must be positive, got {slot_ns}")
+    if slot2_ns <= 0 or slot2_ns % slot_ns:
+        raise SchedulingError(
+            f"multi_cqf slot2 ({slot2_ns}ns) must be a positive multiple "
+            f"of the base slot ({slot_ns}ns)"
+        )
+    # Hyper-cycle = lcm(2*slot, 2*slot2) = 2*slot2, split into base slots.
+    return 2 * (slot2_ns // slot_ns)
+
+
+def multi_cqf_gcl_entries(
+    slot_ns: int,
+    slot2_ns: int,
+    groups: Tuple[Tuple[int, int], ...] = DEFAULT_MULTI_CQF_GROUPS,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry]]:
+    """Merged (in_entries, out_entries) for two CQF systems on one port.
+
+    ``groups[0]`` rotates every ``slot_ns``, ``groups[1]`` every
+    ``slot2_ns``; the merged lists cover one hyper-cycle (``2 * slot2``)
+    in uniform base-slot segments, each opening the gathering member of
+    every group on the in side and the draining member on the out side.
+    """
+    entry_count = multi_cqf_gate_entry_count(slot_ns, slot2_ns)
+    if len(groups) != 2:
+        raise SchedulingError(
+            f"multi_cqf needs exactly two queue groups, got {len(groups)}"
+        )
+    flat: List[int] = [q for group in groups for q in group]
+    _check_group(flat, queue_num, "multi_cqf")
+    for group in groups:
+        if len(group) != 2:
+            raise SchedulingError(
+                f"multi_cqf groups must hold two queues each, "
+                f"got {tuple(group)}"
+            )
+    non_ts = _mask_of([q for q in range(queue_num) if q not in flat])
+    slots = (slot_ns, slot2_ns)
+    in_entries: List[GateEntry] = []
+    out_entries: List[GateEntry] = []
+    for i in range(entry_count):
+        t = i * slot_ns
+        in_mask = non_ts
+        out_mask = non_ts
+        for group, system_slot in zip(groups, slots):
+            phase = t // system_slot
+            in_mask |= 1 << group[phase % 2]
+            out_mask |= 1 << group[(phase + 1) % 2]
+        in_entries.append(GateEntry(in_mask, slot_ns))
+        out_entries.append(GateEntry(out_mask, slot_ns))
+    return in_entries, out_entries
+
+
+def multi_cqf_port_program(
+    slot_ns: int,
+    slot2_ns: int,
+    groups: Tuple[Tuple[int, int], ...] = DEFAULT_MULTI_CQF_GROUPS,
+    queue_num: int = 8,
+) -> Tuple[List[GateEntry], List[GateEntry], List[CqfGroup]]:
+    """Everything ``program_gcls`` needs for one Multi-CQF port.
+
+    The returned groups are ordered (base system, long-slot system) to
+    match :func:`repro.sched.partition_for_multi_cqf`'s system indices.
+    """
+    in_entries, out_entries = multi_cqf_gcl_entries(
+        slot_ns, slot2_ns, groups, queue_num
+    )
+    return in_entries, out_entries, [CqfGroup(*g) for g in groups]

@@ -24,8 +24,9 @@ flow); a per-port refinement would only relax the bound.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.errors import SchedulingError
 from repro.core.units import GIGABIT, serialization_ns, wire_bytes
@@ -87,10 +88,46 @@ class ItpPlan:
         )
 
 
+def _solve_legacy(
+    backend: str,
+    schedule: CqfSchedule,
+    flows: Sequence[FlowSpec],
+    rate_bps: int,
+    slot_utilization_limit: float = 0.5,
+) -> ItpPlan:
+    """Run a :mod:`repro.sched` backend and project to the legacy plan."""
+    # Imported lazily: repro.sched converts plans *to* this module.
+    from repro.sched import SchedulingProblem, make_scheduler
+
+    ts_flows = [f for f in flows if f.traffic_class is TrafficClass.TS]
+    problem = SchedulingProblem.from_flows(
+        ts_flows,
+        schedule,
+        rate_bps,
+        slot_utilization_limit=slot_utilization_limit,
+    )
+    plan = make_scheduler(backend).solve(problem)
+    plan.raise_if_infeasible()
+    return plan.to_itp_plan()
+
+
 class ItpPlanner:
-    """Greedy slot load balancing over one CQF schedule."""
+    """Greedy slot load balancing over one CQF schedule.
+
+    .. deprecated::
+        Construct backends through :func:`repro.sched.make_scheduler`
+        instead; ``ItpPlanner`` is now a thin shim over the ``greedy``
+        backend (byte-identical plans) kept for source compatibility.
+    """
 
     def __init__(self, schedule: CqfSchedule, rate_bps: int = GIGABIT):
+        warnings.warn(
+            "ItpPlanner is deprecated; use "
+            "repro.sched.make_scheduler('greedy') and solve a "
+            "SchedulingProblem (or repro.sched.plan_flows) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.schedule = schedule
         self.rate_bps = rate_bps
 
@@ -108,87 +145,10 @@ class ItpPlanner:
         raises :class:`SchedulingError` -- the flow set is infeasible at
         this slot size.
         """
-        ts_flows = [f for f in flows if f.traffic_class is TrafficClass.TS]
-        slot_count = self.schedule.slot_count
-        plan = ItpPlan(
-            self.schedule,
-            slot_frames=[0] * slot_count,
-            slot_bytes=[0] * slot_count,
+        return _solve_legacy(
+            "greedy", self.schedule, flows, self.rate_bps,
+            slot_utilization_limit,
         )
-        budget_bytes = int(
-            self.schedule.capacity_bytes(self.rate_bps) * slot_utilization_limit
-        )
-        # Largest bandwidth demand first: the classic greedy-balance order.
-        ordered = sorted(
-            ts_flows, key=lambda f: (-f.effective_rate_bps, f.flow_id)
-        )
-        for flow in ordered:
-            self._place(flow, plan, budget_bytes)
-        self._assign_phases(plan, ts_flows)
-        return plan
-
-    # ----------------------------------------------------------- internals
-
-    def _period_slots(self, flow: FlowSpec) -> int:
-        assert flow.period_ns is not None
-        if flow.period_ns % self.schedule.slot_ns:
-            raise SchedulingError(
-                f"flow {flow.flow_id}: period {flow.period_ns}ns is not a "
-                f"multiple of the slot {self.schedule.slot_ns}ns"
-            )
-        return flow.period_ns // self.schedule.slot_ns
-
-    def _place(self, flow: FlowSpec, plan: ItpPlan, budget_bytes: int) -> None:
-        period_slots = self._period_slots(flow)
-        slot_count = self.schedule.slot_count
-        occupancy = wire_bytes(flow.size_bytes)
-        best_offset: Optional[int] = None
-        best_key: Optional[Tuple[int, int]] = None
-        for offset in range(period_slots):
-            touched = range(offset, slot_count, period_slots)
-            worst_frames = max(plan.slot_frames[s] for s in touched)
-            total_bytes = max(plan.slot_bytes[s] for s in touched)
-            if total_bytes + occupancy > budget_bytes:
-                continue
-            key = (worst_frames, total_bytes)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_offset = offset
-        if best_offset is None:
-            raise SchedulingError(
-                f"flow {flow.flow_id}: no injection slot keeps per-slot TS "
-                f"load within {budget_bytes}B -- reduce flows or widen slots"
-            )
-        for s in range(best_offset, slot_count, period_slots):
-            plan.slot_frames[s] += 1
-            plan.slot_bytes[s] += occupancy
-        plan.assignments[flow.flow_id] = ItpAssignment(
-            flow.flow_id, best_offset, phase_ns=0, period_slots=period_slots
-        )
-
-    def _assign_phases(self, plan: ItpPlan, flows: Sequence[FlowSpec]) -> None:
-        """Stagger same-slot flows so talker NICs do not burst.
-
-        Flows sharing an injection slot get consecutive phases spaced by
-        one wire time of their frame, keeping the gathered burst compact at
-        the head of the slot (maximizing drain margin in the next slot).
-        """
-        next_phase: Dict[int, int] = {}
-        for flow in flows:
-            if flow.flow_id not in plan.assignments:
-                continue
-            assignment = plan.assignments[flow.flow_id]
-            slot = assignment.offset_slot % self.schedule.slot_count
-            phase = next_phase.get(slot, 0)
-            next_phase[slot] = phase + serialization_ns(
-                wire_bytes(flow.size_bytes), self.rate_bps
-            )
-            plan.assignments[flow.flow_id] = ItpAssignment(
-                flow.flow_id,
-                assignment.offset_slot,
-                phase_ns=phase,
-                period_slots=assignment.period_slots,
-            )
 
 
 def unplanned_plan(
@@ -201,26 +161,15 @@ def unplanned_plan(
     All same-period flows collide in slot 0, so ``required_queue_depth``
     approaches the flow count -- the ablation benchmark uses this to show
     what ITP buys.
+
+    .. deprecated::
+        Use ``repro.sched.make_scheduler('unplanned')`` instead; this shim
+        delegates to that backend.
     """
-    ts_flows = [f for f in flows if f.traffic_class is TrafficClass.TS]
-    slot_count = schedule.slot_count
-    plan = ItpPlan(
-        schedule, slot_frames=[0] * slot_count, slot_bytes=[0] * slot_count
+    warnings.warn(
+        "unplanned_plan is deprecated; use "
+        "repro.sched.make_scheduler('unplanned') instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    phase: Dict[int, int] = {}
-    for flow in ts_flows:
-        assert flow.period_ns is not None
-        if flow.period_ns % schedule.slot_ns:
-            raise SchedulingError(
-                f"flow {flow.flow_id}: period not slot-aligned"
-            )
-        period_slots = flow.period_ns // schedule.slot_ns
-        for s in range(0, slot_count, period_slots):
-            plan.slot_frames[s] += 1
-            plan.slot_bytes[s] += wire_bytes(flow.size_bytes)
-        p = phase.get(0, 0)
-        phase[0] = p + serialization_ns(wire_bytes(flow.size_bytes), rate_bps)
-        plan.assignments[flow.flow_id] = ItpAssignment(
-            flow.flow_id, 0, phase_ns=p, period_slots=period_slots
-        )
-    return plan
+    return _solve_legacy("unplanned", schedule, flows, rate_bps)

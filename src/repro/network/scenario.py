@@ -72,20 +72,23 @@ _TOPOLOGY_BUILDERS = {
 _KNOWN_TOP_KEYS = frozenset({
     "name", "topology", "flows", "config", "slot_us", "duration_ms",
     "seed", "gate_mechanism", "use_itp", "injection_phase", "slo",
-    "faults",
+    "faults", "sched",
 })
 
 #: Flow-stanza keys consumed by :meth:`ScenarioSpec.build_flows`.
 _KNOWN_FLOW_KEYS = frozenset(
-    {"ts_count", "period_us", "size_bytes", "rc_mbps", "be_mbps"}
+    {"ts_count", "period_us", "size_bytes", "rc_mbps", "be_mbps", "groups"}
 )
+
+#: Keys a ``flows.groups[i]`` entry may carry.
+_KNOWN_GROUP_KEYS = frozenset({"ts_count", "period_us", "size_bytes"})
 
 #: Testbed kwargs the spec explicitly threads; everything else in the
 #: Testbed signature is a legal pass-through "extra".
 _EXPLICIT_TESTBED_KWARGS = frozenset({
     "self", "topology", "config", "flows", "slot_ns", "seed", "use_itp",
     "gate_mechanism", "injection_phase", "tracer", "metrics", "profiler",
-    "spans", "slo_policy", "fault_plan", "headroom",
+    "spans", "slo_policy", "fault_plan", "headroom", "sched",
 })
 
 
@@ -163,6 +166,10 @@ def validate_scenario_dict(data: Mapping[str, Any]) -> List[str]:
         _check_type(problems, "slo", data["slo"], Mapping, "an object")
     if "faults" in data and data["faults"] is not None:
         problems.extend(validate_faults_dict(data["faults"]))
+    if "sched" in data and data["sched"] is not None:
+        from repro.sched import validate_sched_dict
+
+        problems.extend(validate_sched_dict(data["sched"]))
 
     topology = data.get("topology")
     if topology is not None:
@@ -203,6 +210,39 @@ def validate_scenario_dict(data: Mapping[str, Any]) -> List[str]:
                 if key in flows:
                     _check_type(problems, f"flows.{key}", flows[key],
                                 (int, float), "a number")
+            if "groups" in flows:
+                groups = flows["groups"]
+                overlap = sorted(set(flows) & _KNOWN_GROUP_KEYS)
+                if overlap:
+                    problems.append(
+                        f"flows.groups: cannot combine with "
+                        f"{overlap} -- groups replace the uniform TS set"
+                    )
+                if not isinstance(groups, list):
+                    _check_type(problems, "flows.groups", groups, list,
+                                "a list")
+                elif not groups:
+                    problems.append("flows.groups: needs at least one group")
+                else:
+                    for i, group in enumerate(groups):
+                        if not isinstance(group, Mapping):
+                            _check_type(problems, f"flows.groups[{i}]",
+                                        group, Mapping, "an object")
+                            continue
+                        for key in sorted(set(group) - _KNOWN_GROUP_KEYS):
+                            problems.append(
+                                f"flows.groups[{i}].{key}: unknown group "
+                                f"parameter{_suggest(key, _KNOWN_GROUP_KEYS)}"
+                            )
+                        for key in ("ts_count", "size_bytes"):
+                            if key in group:
+                                _check_type(
+                                    problems, f"flows.groups[{i}].{key}",
+                                    group[key], int, "an integer")
+                        if "period_us" in group:
+                            _check_type(
+                                problems, f"flows.groups[{i}].period_us",
+                                group["period_us"], (int, float), "a number")
 
     config = data.get("config", "derive")
     if isinstance(config, Mapping):
@@ -235,6 +275,7 @@ class ScenarioSpec:
     injection_phase: str = "planned"
     slo: Optional[Dict[str, Any]] = None  # SLO policy stanza (see obs.slo)
     faults: Optional[Dict[str, Any]] = None  # fault plan (see repro.faults)
+    sched: Optional[Dict[str, Any]] = None  # scheduling policy (repro.sched)
     rc_mbps: Optional[int] = None  # legacy alias; prefer flows.rc_mbps
     extras: Dict[str, Any] = field(default_factory=dict)
 
@@ -300,6 +341,8 @@ class ScenarioSpec:
             data["slo"] = self.slo
         if self.faults is not None:
             data["faults"] = self.faults
+        if self.sched is not None:
+            data["sched"] = self.sched
         data.update(self.extras)
         return data
 
@@ -328,13 +371,33 @@ class ScenarioSpec:
         params = dict(self.flows)
         talkers = self.topology.get("talkers", ["talker0"])
         listener = self.topology.get("listener", "listener")
-        flow_set = production_cell_flows(
-            talkers,
-            listener,
-            flow_count=params.pop("ts_count", 64),
-            period_ns=us(params.pop("period_us", 10_000)),
-            size_bytes=params.pop("size_bytes", 64),
-        )
+        groups = params.pop("groups", None)
+        if groups is not None:
+            # Heterogeneous TS set: one production-cell batch per group,
+            # flow ids partitioned in blocks of 1000 per group.
+            flow_set = None
+            for i, group in enumerate(groups):
+                batch = production_cell_flows(
+                    talkers,
+                    listener,
+                    flow_count=group.get("ts_count", 1),
+                    period_ns=us(group.get("period_us", 10_000)),
+                    size_bytes=group.get("size_bytes", 64),
+                    first_flow_id=i * 1000,
+                )
+                if flow_set is None:
+                    flow_set = batch
+                else:
+                    for flow in batch:
+                        flow_set.add(flow)
+        else:
+            flow_set = production_cell_flows(
+                talkers,
+                listener,
+                flow_count=params.pop("ts_count", 64),
+                period_ns=us(params.pop("period_us", 10_000)),
+                size_bytes=params.pop("size_bytes", 64),
+            )
         rc = params.pop("rc_mbps", 0)
         be = params.pop("be_mbps", 0)
         if rc or be:
@@ -357,6 +420,7 @@ class ScenarioSpec:
                 gate_mechanism=self.gate_mechanism,
                 # FRER member streams double the per-flow table demand
                 replication_factor=2 if self.extras.get("frer_ts") else 1,
+                sched=self.build_sched_policy(),
             ).config
         if isinstance(self.config, Mapping):
             return SwitchConfig.from_dict(
@@ -377,6 +441,18 @@ class ScenarioSpec:
         if self.faults is None:
             return None
         return FaultPlan.from_dict(self.faults)
+
+    def build_sched_policy(self):
+        """The parsed ``"sched"`` stanza, or ``None`` when absent.
+
+        ``None`` lets downstream consumers apply their historic defaults
+        (greedy ITP when ``use_itp`` is set, unplanned otherwise).
+        """
+        if self.sched is None:
+            return None
+        from repro.sched import SchedPolicy
+
+        return SchedPolicy.from_dict(self.sched)
 
     def build_testbed(
         self,
@@ -411,6 +487,7 @@ class ScenarioSpec:
             seed=self.seed,
             gate_mechanism=self.gate_mechanism,
             use_itp=self.use_itp,
+            sched=self.build_sched_policy(),
             injection_phase=self.injection_phase,
             tracer=tracer if tracer is not None else NULL_TRACER,
             metrics=metrics,

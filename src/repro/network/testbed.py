@@ -22,14 +22,20 @@ seeds give bit-identical traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import SwitchConfig
 from repro.core.errors import ConfigurationError, SchedulingError, TopologyError
 from repro.core.units import GIGABIT, ms, serialization_ns, wire_bytes
-from repro.cqf.gcl_gen import DEFAULT_TS_QUEUE_PAIR, cqf_port_program
-from repro.cqf.itp import ItpPlan, ItpPlanner, unplanned_plan
-from repro.cqf.schedule import CqfSchedule
+from repro.cqf.gcl_gen import (
+    DEFAULT_TS_QUEUE_PAIR,
+    cqf_port_program,
+    csqf_port_program,
+    multi_cqf_port_program,
+)
+from repro.cqf.itp import ItpPlan
+from repro.sched import SchedPolicy, plan_flows
+from repro.sched.problem import MultiSchedulePlan, SchedulePlan
 from repro.faults.injector import FaultInjector, FaultReport
 from repro.faults.plan import FaultPlan
 from repro.obs.flowspans import FlowSpanRecorder
@@ -70,6 +76,7 @@ class ScenarioResult:
     flows: FlowSet
     switches: Dict[str, TsnSwitch]
     itp_plan: Optional[ItpPlan]
+    sched_plan: Optional[Union[SchedulePlan, MultiSchedulePlan]] = None
     metrics: Optional[MetricsRegistry] = None
     tracer: Tracer = NULL_TRACER
     sim_stats: Dict[str, int] = field(default_factory=dict)
@@ -249,6 +256,7 @@ class Testbed:
         enable_metering: bool = True,
         poisson_be: bool = False,
         ts_queue_pair: Tuple[int, int] = DEFAULT_TS_QUEUE_PAIR,
+        sched: Optional[SchedPolicy] = None,
         scheduler_factory: Optional[Callable] = None,
         shared_buffers: bool = False,
         preemption_enabled: bool = False,
@@ -276,10 +284,22 @@ class Testbed:
         self.propagation_ns = propagation_ns
         self.trunk_error_rate = trunk_error_rate
         self.use_itp = use_itp
+        # The scheduling policy: backend + shaper + objective.  ``use_itp``
+        # remains the legacy knob -- consulted only when no explicit policy
+        # is given, so ``use_itp=False`` still means the unplanned ablation.
+        if sched is None:
+            sched = SchedPolicy(backend="greedy" if use_itp else "unplanned")
+        self.sched = sched
+        self.shaper = sched.shaper
         if gate_mechanism not in ("cqf", "qbv"):
             raise ConfigurationError(
                 f"gate_mechanism must be 'cqf' or 'qbv', "
                 f"got {gate_mechanism!r}"
+            )
+        if gate_mechanism != "cqf" and self.shaper != "cqf":
+            raise ConfigurationError(
+                f"shaper {self.shaper!r} requires gate_mechanism='cqf' "
+                f"(Qbv window synthesis assumes classic CQF slotting)"
             )
         self.gate_mechanism = gate_mechanism
         if injection_phase not in ("planned", "uniform"):
@@ -295,11 +315,48 @@ class Testbed:
         self.frer_ts = frer_ts
         if frer_ts and gate_mechanism != "cqf":
             raise ConfigurationError("frer_ts currently requires CQF gating")
+        if frer_ts and self.shaper != "cqf":
+            raise ConfigurationError(
+                "frer_ts currently requires the classic 'cqf' shaper"
+            )
         self.frer_eliminators: Dict[str, "FrerEliminator"] = {}
         self._replica_vids: Dict[int, int] = {}
         self.enable_metering = enable_metering
         self.poisson_be = poisson_be
         self.ts_queue_pair = ts_queue_pair
+        # Per-shaper queue layout.  Classic CQF keeps the historical map
+        # (TS pair high, RC on 5/4/3 = their PCPs, BE on 0).  CSQF claims a
+        # third TS queue and Multi-CQF a second queue group, pushing the RC
+        # queues down; RC PCPs then no longer equal their queue ids, so RC
+        # flows get explicit classification entries (rank-preserving map).
+        if self.shaper == "cqf":
+            self.ts_queue_groups: Tuple[Tuple[int, ...], ...] = (
+                tuple(ts_queue_pair),
+            )
+            self.rc_queues: Tuple[int, ...] = RC_QUEUES
+        elif self.shaper == "csqf":
+            self.ts_queue_groups = (
+                (ts_queue_pair[0] - 1, ts_queue_pair[0], ts_queue_pair[1]),
+            )
+            self.rc_queues = tuple(q - 1 for q in RC_QUEUES)
+        else:  # multi_cqf: one queue group per CQF system
+            self.ts_queue_groups = (
+                tuple(ts_queue_pair),
+                (ts_queue_pair[0] - 2, ts_queue_pair[1] - 2),
+            )
+            self.rc_queues = tuple(q - 2 for q in RC_QUEUES)
+        if self.shaper != "cqf":
+            used = [q for group in self.ts_queue_groups for q in group]
+            used += [*self.rc_queues, BE_QUEUE]
+            if (
+                len(set(used)) != len(used)
+                or min(used) < 0
+                or max(used) >= config.queue_num
+            ):
+                raise ConfigurationError(
+                    f"shaper {self.shaper!r} queue layout {sorted(used)} "
+                    f"does not fit {config.queue_num} queues without overlap"
+                )
         self.scheduler_factory = scheduler_factory
         self.shared_buffers = shared_buffers
         self.preemption_enabled = preemption_enabled
@@ -335,6 +392,9 @@ class Testbed:
         self._rc_queue_of: Dict[int, int] = {}
         self.analyzer: Optional[TsnAnalyzer] = None
         self.itp_plan: Optional[ItpPlan] = None
+        self.sched_plan: Optional[
+            Union[SchedulePlan, MultiSchedulePlan]
+        ] = None
         self._sources: List = []
         self._built = False
 
@@ -444,7 +504,9 @@ class Testbed:
                 scheduler_factory=self.scheduler_factory,
                 shared_buffers=self.shared_buffers,
                 preemption_enabled=self.preemption_enabled,
-                express_queues=self.ts_queue_pair,
+                express_queues=tuple(
+                    q for group in self.ts_queue_groups for q in group
+                ),
                 tracer=self.tracer,
                 metrics=self.metrics,
                 spans=self.spans,
@@ -552,17 +614,30 @@ class Testbed:
             )
 
     def _program_gates(self) -> None:
-        if self.gate_mechanism == "cqf":
-            in_entries, out_entries, pairs = cqf_port_program(
-                self.slot_ns, self.ts_queue_pair, self.base_config.queue_num
-            )
-            for switch in self.switches.values():
-                for port_id in range(len(switch.ports)):
-                    switch.program_gcls(
-                        port_id, list(in_entries), list(out_entries), pairs
-                    )
-        else:
+        if self.gate_mechanism != "cqf":
             self._program_gates_qbv()
+            return
+        queue_num = self.base_config.queue_num
+        if self.shaper == "cqf":
+            in_entries, out_entries, groups = cqf_port_program(
+                self.slot_ns, self.ts_queue_pair, queue_num
+            )
+        elif self.shaper == "csqf":
+            in_entries, out_entries, groups = csqf_port_program(
+                self.slot_ns, self.ts_queue_groups[0], queue_num
+            )
+        else:
+            in_entries, out_entries, groups = multi_cqf_port_program(
+                self.slot_ns,
+                self.sched.slot2_ns(self.slot_ns),
+                self.ts_queue_groups,
+                queue_num,
+            )
+        for switch in self.switches.values():
+            for port_id in range(len(switch.ports)):
+                switch.program_gcls(
+                    port_id, list(in_entries), list(out_entries), groups
+                )
 
     def _program_gates_qbv(self) -> None:
         """Per-port Time-Aware Shaper windows synthesized from the ITP plan.
@@ -591,6 +666,8 @@ class Testbed:
         slot_flows: Dict[Tuple[str, int], Dict[int, List[FlowSpec]]] = {}
         hop_depths: Dict[Tuple[str, int], set] = {}
         for flow in self.flows.ts_flows:
+            if flow.flow_id not in self.itp_plan.assignments:
+                continue  # rejected by a max_admission plan
             assignment = self.itp_plan.assignments[flow.flow_id]
             slots = range(
                 assignment.offset_slot,
@@ -630,22 +707,26 @@ class Testbed:
         map/table sizing of the config is exercised either way.
         """
         rc_flows = self.flows.rc_flows
-        per_queue_rate: Dict[int, int] = {q: 0 for q in RC_QUEUES}
+        per_queue_rate: Dict[int, int] = {q: 0 for q in self.rc_queues}
         for flow in rc_flows:
-            queue = flow.effective_pcp
-            if queue not in RC_QUEUES:
+            pcp = flow.effective_pcp
+            if pcp not in RC_QUEUES:
                 raise ConfigurationError(
-                    f"RC flow {flow.flow_id}: PCP {queue} does not map onto "
+                    f"RC flow {flow.flow_id}: PCP {pcp} does not map onto "
                     f"an RC queue {RC_QUEUES}"
                 )
+            # Rank-preserving PCP -> queue map; the identity under 'cqf'.
+            queue = self.rc_queues[RC_QUEUES.index(pcp)]
             self._rc_queue_of[flow.flow_id] = queue
             per_queue_rate[queue] += flow.effective_rate_bps
-        usable = len(RC_QUEUES)
+        usable = len(self.rc_queues)
         if self.base_config.cbs_map_size < usable:
             usable = self.base_config.cbs_map_size
         for switch in self.switches.values():
             for port_id in range(len(switch.ports)):
-                for slot_index, queue_id in enumerate(RC_QUEUES[:usable]):
+                for slot_index, queue_id in enumerate(
+                    self.rc_queues[:usable]
+                ):
                     reserved = per_queue_rate.get(queue_id, 0) * 2
                     reserved = max(reserved, self.rate_bps // 100)
                     reserved = min(reserved, self.rate_bps * 3 // 4)
@@ -658,10 +739,20 @@ class Testbed:
 
     def _queue_for(self, flow: FlowSpec) -> int:
         if flow.traffic_class is TrafficClass.TS:
-            return self.ts_queue_pair[1]
+            # Classification targets one member of the flow's CQF group;
+            # the gate engine redirects to whichever member is gathering.
+            # Under multi_cqf the flow's planned system picks the group.
+            if self.shaper == "multi_cqf" and self.sched_plan is not None:
+                system = self.sched_plan.system_of(flow.flow_id)
+                return self.ts_queue_groups[system][-1]
+            return self.ts_queue_groups[0][-1]
         if flow.traffic_class is TrafficClass.RC:
             return self._rc_queue_of[flow.flow_id]
         return BE_QUEUE
+
+    def _ts_admitted(self, flow: FlowSpec) -> bool:
+        """False only for flows a ``max_admission`` plan rejected."""
+        return self.sched_plan is None or flow.flow_id in self.sched_plan.offsets
 
     def _flow_hop_ports(self, flow: FlowSpec) -> List[Tuple[str, int]]:
         """(switch, egress port) for every hop including listener delivery."""
@@ -752,6 +843,8 @@ class Testbed:
             src_mac = self.hosts[flow.src].mac
             dst_mac = self.hosts[flow.dst].mac
             if flow.traffic_class is TrafficClass.TS:
+                if not self._ts_admitted(flow):
+                    continue  # rejected by a max_admission plan: no state
                 if self.frer_ts:
                     replicas = list(
                         zip(
@@ -776,6 +869,19 @@ class Testbed:
                                 self.aggregate_routes and not self.frer_ts
                             ),
                         )
+            elif (
+                flow.traffic_class is TrafficClass.RC
+                and self.shaper != "cqf"
+            ):
+                # The PCP fallback would land RC frames on a queue the
+                # shaper claimed; install explicit (unmetered)
+                # classification entries mapping them to the shifted RC
+                # queues instead.
+                for switch_name, outport in self._flow_hop_ports(flow):
+                    self.switches[switch_name].program_flow(
+                        src_mac, dst_mac, vid, pcp, outport, queue_id, -1,
+                        aggregate_route=self.aggregate_routes,
+                    )
             else:  # RC/BE: forwarding route only, PCP default classifies
                 for switch_name, outport in self._flow_hop_ports(flow):
                     self.switches[switch_name].program_route(
@@ -787,12 +893,16 @@ class Testbed:
     def _plan_injections(self) -> None:
         if not self.flows.ts_flows:
             return
-        schedule = CqfSchedule.for_flows(self.flows.ts_periods(), self.slot_ns)
-        if self.use_itp:
-            planner = ItpPlanner(schedule, self.rate_bps)
-            self.itp_plan = planner.plan(list(self.flows))
-        else:
-            self.itp_plan = unplanned_plan(schedule, list(self.flows), self.rate_bps)
+        plan = plan_flows(
+            list(self.flows), self.slot_ns, self.rate_bps, policy=self.sched
+        )
+        plan.raise_if_infeasible()
+        self.sched_plan = plan
+        if isinstance(plan, SchedulePlan):
+            # Single-system plans keep the legacy view alive (Qbv window
+            # synthesis, sizing evidence, exports); Multi-CQF has no
+            # faithful single-schedule projection.
+            self.itp_plan = plan.to_itp_plan()
 
     def _create_analyzer(self) -> None:
         from repro.frer.elimination import FrerEliminator
@@ -820,11 +930,14 @@ class Testbed:
             dst = self.hosts[flow.dst]
             vid = self._flow_vids[flow.flow_id]
             if flow.traffic_class is TrafficClass.TS:
-                assert self.itp_plan is not None
-                assignment = self.itp_plan.assignments[flow.flow_id]
+                assert self.sched_plan is not None
+                if not self._ts_admitted(flow):
+                    continue  # rejected flows inject nothing
+                plan = self.sched_plan
                 offset = (
-                    assignment.offset_slot * self.slot_ns
-                    + self._injection_phase_ns(flow, assignment)
+                    plan.offsets[flow.flow_id]
+                    * plan.slot_ns_of(flow.flow_id)
+                    + self._injection_phase_ns(flow)
                 )
                 vids = [vid]
                 if self.frer_ts:
@@ -871,28 +984,30 @@ class Testbed:
                     )
                 )
 
-    def _injection_phase_ns(self, flow: FlowSpec, assignment) -> int:
+    def _injection_phase_ns(self, flow: FlowSpec) -> int:
         """Where inside its planned slot a TS flow injects.
 
-        ``"planned"`` uses ITP's compact stagger (frames back-to-back at the
-        slot head -- maximal drain margin, near-zero cross-flow jitter).
-        ``"uniform"`` draws a seeded random phase across the slot, the way
-        unconstrained TSNNic applications inject: latency then spreads
-        across the Eq. (1) window and the measured jitter becomes
+        ``"planned"`` uses the plan's compact stagger (frames back-to-back
+        at the slot head -- maximal drain margin, near-zero cross-flow
+        jitter).  ``"uniform"`` draws a seeded random phase across the slot,
+        the way unconstrained TSNNic applications inject: latency then
+        spreads across the Eq. (1) window and the measured jitter becomes
         proportional to the slot size -- the behaviour behind the paper's
         "the jitter is related to the slot size" (Fig. 7c).  A guard at the
         slot tail keeps the frame's arrival at the first switch inside the
-        intended slot.
+        intended slot.  The slot size is the flow's own system's (they
+        differ under Multi-CQF).
         """
+        assert self.sched_plan is not None
         if self.injection_phase == "planned":
-            return assignment.phase_ns
+            return self.sched_plan.phase_ns(flow.flow_id)
         guard = (
             serialization_ns(wire_bytes(flow.size_bytes), self.rate_bps)
             + self.propagation_ns
             + DEFAULT_PROCESSING_DELAY_NS
             + 1_000
         )
-        window = max(1, self.slot_ns - guard)
+        window = max(1, self.sched_plan.slot_ns_of(flow.flow_id) - guard)
         rng = self.rng.stream(f"flow{flow.flow_id}.inject")
         return rng.randrange(window)
 
@@ -935,7 +1050,12 @@ class Testbed:
             else:
                 source.until_ns = start_ns + duration_ns
             source.start()
-        self.sim.run(until=start_ns + duration_ns + drain_slots * self.slot_ns)
+        drain_slot_ns = (
+            self.sched.slot2_ns(self.slot_ns)
+            if self.shaper == "multi_cqf"
+            else self.slot_ns
+        )
+        self.sim.run(until=start_ns + duration_ns + drain_slots * drain_slot_ns)
         expected = {source.flow_id: source.emitted for source in self._sources}
         assert self.analyzer is not None
         slo_report = (
@@ -967,6 +1087,7 @@ class Testbed:
             flows=self.flows,
             switches=self.switches,
             itp_plan=self.itp_plan,
+            sched_plan=self.sched_plan,
             metrics=self.metrics,
             tracer=self.tracer,
             sim_stats=self.sim.stats.as_dict(),

@@ -58,7 +58,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 from .tables import GateControlList, GateEntry
 
-__all__ = ["GateEngine", "CqfPair", "GATE_EVENT_PRIORITY"]
+__all__ = ["GateEngine", "CqfGroup", "CqfPair", "GATE_EVENT_PRIORITY"]
 
 #: Gate-flip events (and the table engine's gate wakeups) run before
 #: same-time frame events so a frame arriving at exactly a slot boundary
@@ -69,23 +69,47 @@ GATE_EVENT_PRIORITY = -10
 _GATE_EVENT_MODES = ("auto", "flip", "table")
 
 
-class CqfPair:
-    """A pair of queues operated cyclically by CQF (802.1Qch).
+class CqfGroup:
+    """A group of queues rotated cyclically by a CQF-family shaper.
 
-    ``members`` are the two queue ids; ingress enqueues into whichever
-    member's in-gate is currently open.
+    ``members`` are the queue ids; ingress enqueues into whichever
+    member's in-gate is currently open.  Classic CQF rotates two queues,
+    CSQF three; Multi-CQF ports carry one group per CQF system.
     """
 
-    def __init__(self, first: int, second: int):
-        if first == second:
-            raise ConfigurationError("CQF pair needs two distinct queues")
-        self.members = (first, second)
+    def __init__(self, *members: int):
+        if len(members) < 2:
+            raise ConfigurationError(
+                f"CQF group needs at least two queues, got {members}"
+            )
+        if len(set(members)) != len(members):
+            raise ConfigurationError(
+                f"CQF group members must be distinct, got {members}"
+            )
+        self.members = tuple(members)
 
     def __contains__(self, queue_id: int) -> bool:
         return queue_id in self.members
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CqfGroup):
+            return NotImplemented
+        return self.members == other.members
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
     def __repr__(self) -> str:
-        return f"CqfPair{self.members}"
+        return f"{type(self).__name__}{self.members}"
+
+
+class CqfPair(CqfGroup):
+    """The two-queue group operated by classic CQF (802.1Qch)."""
+
+    def __init__(self, first: int, second: int):
+        if first == second:
+            raise ConfigurationError("CQF pair needs two distinct queues")
+        super().__init__(first, second)
 
 
 class _GclWalker:
@@ -309,7 +333,7 @@ class GateEngine:
         in_gcl: GateControlList,
         out_gcl: GateControlList,
         clock: Optional[LocalClock] = None,
-        cqf_pairs: Sequence[CqfPair] = (),
+        cqf_pairs: Sequence[CqfGroup] = (),
         on_change: Optional[Callable[[], None]] = None,
         tracer: Tracer = NULL_TRACER,
         instruments: Optional[PortInstruments] = None,
@@ -359,9 +383,9 @@ class GateEngine:
         self,
         in_entries: Sequence[GateEntry],
         out_entries: Sequence[GateEntry],
-        cqf_pairs: Sequence[CqfPair] = (),
+        cqf_pairs: Sequence[CqfGroup] = (),
     ) -> None:
-        """Program both GCLs and the CQF pair set (before ``start``)."""
+        """Program both GCLs and the CQF group set (before ``start``)."""
         if self._started:
             raise ConfigurationError(f"{self._name}: already started")
         self._in.gcl.program(list(in_entries))
@@ -500,10 +524,11 @@ class GateEngine:
     def select_enqueue_queue(self, queue_id: int) -> Optional[int]:
         """Resolve which queue should absorb a frame classified to *queue_id*.
 
-        If the queue belongs to a CQF pair, the open member of the pair is
-        returned (CQF enqueues into the gathering queue of the current
-        slot).  Otherwise *queue_id* itself is returned when its in-gate is
-        open, or ``None`` when closed (the frame is filtered -- a gate drop).
+        If the queue belongs to a CQF group, the open member of the group
+        is returned (CQF-family shapers enqueue into the gathering queue of
+        the current slot).  Otherwise *queue_id* itself is returned when its
+        in-gate is open, or ``None`` when closed (the frame is filtered --
+        a gate drop).
         """
         for pair in self._cqf_pairs:
             if queue_id in pair:

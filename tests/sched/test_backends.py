@@ -1,0 +1,138 @@
+"""Backend equivalence and gap properties of the scheduling layer."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.cqf.schedule import CqfSchedule
+from repro.sched import (
+    SchedulingProblem,
+    available_backends,
+    make_scheduler,
+)
+from repro.traffic.flows import FlowSpec, TrafficClass
+
+SLOT_NS = 50_000
+
+
+def _ts(flow_id, period_ns, size_bytes):
+    return FlowSpec(
+        flow_id, TrafficClass.TS, f"talker{flow_id % 3}", "listener",
+        size_bytes, period_ns=period_ns,
+    )
+
+
+def gap_flows():
+    """Greedy needs peak 3 here; the optimum is 2 (ISSUE acceptance case)."""
+    return (
+        [_ts(i, 100_000, 64) for i in range(3)]
+        + [_ts(10 + i, 200_000, 512) for i in range(2)]
+    )
+
+
+def gap_problem(objective="min_peak"):
+    flows = gap_flows()
+    schedule = CqfSchedule.for_flows([f.period_ns for f in flows], SLOT_NS)
+    return SchedulingProblem.from_flows(
+        flows, schedule, 10**9, objective=objective
+    )
+
+
+def overload_problem():
+    """More TS bytes than the slots can carry: admission must reject."""
+    flows = [_ts(i, 100_000, 1500) for i in range(8)]
+    schedule = CqfSchedule.for_flows([f.period_ns for f in flows], SLOT_NS)
+    return SchedulingProblem.from_flows(
+        flows, schedule, 10**9, objective="max_admission"
+    )
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert {"greedy", "exact", "anneal", "unplanned"} <= set(
+            available_backends()
+        )
+
+    def test_unknown_backend_suggests(self):
+        with pytest.raises(SchedulingError, match="greedy"):
+            make_scheduler("greedyy")
+
+    def test_every_backend_solves_the_gap_instance(self):
+        for backend in available_backends():
+            plan = make_scheduler(backend).solve(gap_problem())
+            assert plan.backend == backend
+            assert plan.status in ("optimal", "feasible")
+            assert plan.admitted_count == 5
+
+
+class TestPeakGap:
+    def test_greedy_needs_three(self):
+        plan = make_scheduler("greedy").solve(gap_problem())
+        assert plan.required_queue_depth == 3
+
+    def test_exact_proves_two_optimal(self):
+        plan = make_scheduler("exact").solve(gap_problem())
+        assert plan.status == "optimal"
+        assert plan.required_queue_depth == 2
+        assert plan.required_queue_depth == gap_problem().peak_lower_bound()
+
+    def test_exact_never_worse_than_greedy(self):
+        greedy = make_scheduler("greedy").solve(gap_problem())
+        exact = make_scheduler("exact").solve(gap_problem())
+        assert exact.required_queue_depth <= greedy.required_queue_depth
+
+    def test_anneal_never_worse_than_greedy(self):
+        # Seeded from the greedy incumbent, so it can only improve.
+        greedy = make_scheduler("greedy").solve(gap_problem())
+        anneal = make_scheduler("anneal").solve(gap_problem())
+        assert anneal.required_queue_depth <= greedy.required_queue_depth
+
+
+class TestAdmission:
+    def test_exact_admits_at_least_greedy(self):
+        problem = overload_problem()
+        greedy = make_scheduler("greedy").solve(problem)
+        exact = make_scheduler("exact").solve(problem)
+        assert greedy.rejected, "instance must actually overload the slots"
+        assert exact.admitted_count >= greedy.admitted_count
+
+    def test_min_peak_raises_where_max_admission_rejects(self):
+        flows = [_ts(i, 100_000, 1500) for i in range(8)]
+        schedule = CqfSchedule.for_flows(
+            [f.period_ns for f in flows], SLOT_NS
+        )
+        strict = SchedulingProblem.from_flows(flows, schedule, 10**9)
+        plan = make_scheduler("greedy").solve(strict)
+        assert plan.status == "infeasible"
+        with pytest.raises(SchedulingError, match="injection slot"):
+            plan.raise_if_infeasible()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", ["greedy", "exact", "anneal",
+                                         "unplanned"])
+    def test_repeated_solves_identical(self, backend):
+        scheduler = make_scheduler(backend)
+        first = scheduler.solve(gap_problem())
+        second = scheduler.solve(gap_problem())
+        assert first.offsets == second.offsets
+        assert first.status == second.status
+        assert dict(first.summary()) == dict(second.summary())
+
+    def test_anneal_seed_changes_are_explicit(self):
+        base = make_scheduler("anneal").solve(gap_problem())
+        reseeded = make_scheduler("anneal", seed=7).solve(gap_problem())
+        # Different seeds may find different plans, but never worse status.
+        assert reseeded.status in ("optimal", "feasible")
+        assert base.required_queue_depth <= 3
+
+
+class TestUnplanned:
+    def test_everyone_in_slot_zero(self):
+        flows = [_ts(i, 100_000, 64) for i in range(6)]
+        schedule = CqfSchedule.for_flows(
+            [f.period_ns for f in flows], SLOT_NS
+        )
+        problem = SchedulingProblem.from_flows(flows, schedule, 10**9)
+        plan = make_scheduler("unplanned").solve(problem)
+        assert plan.required_queue_depth == 6
+        assert all(offset == 0 for offset in plan.offsets.values())

@@ -1,0 +1,76 @@
+"""The ``repro sched`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+GAP_SCENARIO = {
+    "name": "gap-point",
+    "topology": {"kind": "star",
+                 "talkers": ["talker0", "talker1", "talker2"],
+                 "listener": "listener"},
+    "flows": {"groups": [
+        {"ts_count": 3, "period_us": 100, "size_bytes": 64},
+        {"ts_count": 2, "period_us": 200, "size_bytes": 512},
+    ]},
+    "config": "derive",
+    "slot_us": 50,
+    "duration_ms": 2,
+    "seed": 0,
+}
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "gap.json"
+    path.write_text(json.dumps(GAP_SCENARIO))
+    return path
+
+
+class TestSchedCommand:
+    def test_exact_reports_optimality_proof(self, scenario_file, capsys):
+        assert main(["sched", str(scenario_file),
+                     "--backend", "exact", "--json"]) == 0
+        out, err = capsys.readouterr()
+        payload = json.loads(out)
+        (plan,) = payload["plans"]
+        assert plan["backend"] == "exact"
+        assert plan["status"] == "optimal"
+        assert plan["required_queue_depth"] == 2
+        assert "proved peak 2" in err
+
+    def test_compare_shows_greedy_gap(self, scenario_file, capsys):
+        assert main(["sched", str(scenario_file),
+                     "--compare", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_backend = {p["backend"]: p for p in payload["plans"]}
+        greedy, exact = by_backend["greedy"], by_backend["exact"]
+        # The shipped gap instance: greedy needs a strictly deeper queue
+        # and therefore strictly more BRAM than the proven optimum.
+        assert greedy["required_queue_depth"] > exact["required_queue_depth"]
+        assert greedy["configured_queue_depth"] > (
+            exact["configured_queue_depth"]
+        )
+        assert greedy["bram_kb"] > exact["bram_kb"]
+
+    def test_table_output(self, scenario_file, capsys):
+        assert main(["sched", str(scenario_file), "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "BRAM Kb" in out
+        assert "greedy" in out and "exact" in out
+
+    def test_unknown_backend_exits_2(self, scenario_file, capsys):
+        assert main(["sched", str(scenario_file),
+                     "--backend", "cplex"]) == 2
+        assert "cplex" in capsys.readouterr().err
+
+    def test_backend_stanza_in_scenario_is_default(self, tmp_path, capsys):
+        doc = dict(GAP_SCENARIO)
+        doc["sched"] = {"backend": "exact"}
+        path = tmp_path / "stanza.json"
+        path.write_text(json.dumps(doc))
+        assert main(["sched", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plans"][0]["backend"] == "exact"

@@ -43,6 +43,23 @@ class TestPublicApi:
         result = Testbed(topo, config, flows).run(duration_ns=15_000_000)
         assert result.ts_loss == 0.0
 
+    def test_scheduling_surface_exported(self):
+        """The pluggable scheduling layer is part of the public API."""
+        for name in (
+            "Scheduler",
+            "SchedPolicy",
+            "SchedulePlan",
+            "SchedulingProblem",
+            "available_backends",
+            "make_scheduler",
+            "plan_flows",
+        ):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+        assert {"greedy", "exact", "anneal", "unplanned"} <= set(
+            repro.available_backends()
+        )
+
     def test_api_doctest_value(self):
         """The CustomizationAPI docstring promises 2106."""
         import doctest
