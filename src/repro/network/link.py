@@ -26,7 +26,6 @@ independently counted impairments:
 from __future__ import annotations
 
 import random
-from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.core.errors import ConfigurationError
@@ -55,6 +54,7 @@ class Link:
         rng: Optional[random.Random] = None,
         name: str = "link",
         spans: Optional[FlowSpanRecorder] = None,
+        batch=None,
     ) -> None:
         if propagation_ns < 0:
             raise ConfigurationError(
@@ -75,6 +75,9 @@ class Link:
         self._rng = rng
         self.name = name
         self._spans = spans
+        #: Optional :class:`~repro.switch.batch.FrameBatch`; when set, the
+        #: link also carries integer frame handles.
+        self._batch = batch
         self.frames_carried = 0
         self.frames_corrupted = 0
         self.frames_blackholed = 0
@@ -145,12 +148,18 @@ class Link:
 
     # ------------------------------------------------------------- carrying
 
-    def _note_drop(self, frame: EthernetFrame) -> None:
+    def _note_drop(self, frame) -> None:
         if self._spans is not None:
+            if type(frame) is int:
+                frame = self._batch.materialize(frame)
             self._spans.record(self._sim.now, "drop", self.name, frame)
 
-    def _carry(self, frame: EthernetFrame) -> None:
-        """Called by the port at last-bit-out; deliver after propagation."""
+    def _carry(self, frame) -> None:
+        """Called by the port at last-bit-out; deliver after propagation.
+
+        *frame* is an :class:`EthernetFrame` or, on the batched fast path,
+        an integer :class:`~repro.switch.batch.FrameBatch` handle.
+        """
         if not self._up:
             self.frames_blackholed += 1
             self._note_drop(frame)
@@ -171,7 +180,18 @@ class Link:
             or self._fault_corrupt_rng.random() < self._fault_corrupt_rate
         ):
             self.frames_fault_corrupted += 1
-            frame = replace(frame, fcs_ok=False)
+            # Corruption is the one per-hop copy the link ever makes: a
+            # *distinct* frame must exist because replicated (FRER /
+            # multicast) copies of the same frame traverse other links
+            # intact.  Clean frames are passed through by reference -- no
+            # observer needs a per-hop object -- and ``corrupted()`` skips
+            # dataclasses.replace's re-validation.  A batch handle
+            # materializes here for the same reason: the shared column
+            # store must not see one link's bit errors.
+            if type(frame) is int:
+                frame = self._batch.materialize(frame, fcs_ok=False)
+            else:
+                frame = frame.corrupted()
         self.frames_carried += 1
         self._sim.post(self.propagation_ns, lambda: self._receive(frame))
 

@@ -1,0 +1,347 @@
+/* Compiled fast path for the simulation kernel and gate-window queries.
+ *
+ * One small C extension, two hot loops:
+ *
+ *   run_loop(heap, until, sim, stats, fired_sentinel)
+ *       The Simulator.run() inner dispatch: pop the binary-heap calendar
+ *       (plain tuples, compared via the same tuple ordering heapq uses),
+ *       honor lazy deletion of cancelled [action] slots, advance sim._now,
+ *       bump stats.fired / sim._live, and call the action.  State is
+ *       written back *before* every action so Python code running inside
+ *       an event (EventHandle.cancel -> _note_cancel -> compaction
+ *       threshold, sim.pending, sim.now) observes exactly what the pure
+ *       Python loop would show it -- byte-identical SimStats and traces.
+ *
+ *   mask_at(offsets, masks, anchor_ns, cycle_ns, pre_mask, now)
+ *   open_run_remaining(offsets, masks, anchor_ns, cycle_ns, pre_mask,
+ *                      queue_id, now)
+ *       The _WindowTable queries of repro.switch.gates lowered to C:
+ *       bisect over the cumulative boundary offsets plus the open-run
+ *       walk.  Exact integer arithmetic mirrors the Python reference
+ *       line for line.
+ *
+ * The build is optional (see repro/sim/fastpath.py): no toolchain, no
+ * extension, and the pure-Python reference runs instead.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* ------------------------------------------------------------------ heap */
+
+/* heapq-compatible siftup after replacing heap[0]; tuple comparisons via
+ * PyObject_RichCompareBool(Py_LT), matching heapq's ordering exactly. */
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    Py_ssize_t limit = n >> 1; /* nodes beyond this are leaves */
+    PyObject *item = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(item);
+    while (pos < limit) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child + 1 < n) {
+            PyObject *a = PyList_GET_ITEM(heap, child);
+            PyObject *b = PyList_GET_ITEM(heap, child + 1);
+            int lt = PyObject_RichCompareBool(b, a, Py_LT);
+            if (lt < 0) {
+                Py_DECREF(item);
+                return -1;
+            }
+            if (lt)
+                child += 1;
+        }
+        PyObject *smallest = PyList_GET_ITEM(heap, child);
+        int lt = PyObject_RichCompareBool(smallest, item, Py_LT);
+        if (lt < 0) {
+            Py_DECREF(item);
+            return -1;
+        }
+        if (!lt)
+            break;
+        Py_INCREF(smallest);
+        PyList_SetItem(heap, pos, smallest);
+        pos = child;
+    }
+    PyList_SetItem(heap, pos, item);
+    return 0;
+}
+
+/* heapq.heappop: returns a new reference, NULL on error/empty. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last;
+    PyObject *head = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(head);
+    PyList_SetItem(heap, 0, last); /* steals last */
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(head);
+        return NULL;
+    }
+    return head;
+}
+
+/* ------------------------------------------------------------- run_loop */
+
+static PyObject *str_now;     /* "_now"  */
+static PyObject *str_live;    /* "_live" */
+static PyObject *str_fired;   /* "fired" */
+static PyObject *long_one;    /* int(1)  */
+
+static PyObject *
+fastpath_run_loop(PyObject *self, PyObject *args)
+{
+    PyObject *heap, *until, *sim, *stats, *fired_sentinel;
+    if (!PyArg_ParseTuple(args, "O!OOOO", &PyList_Type, &heap, &until,
+                          &sim, &stats, &fired_sentinel))
+        return NULL;
+
+    int has_until = until != Py_None;
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *entry = PyList_GET_ITEM(heap, 0); /* borrowed */
+        if (!PyTuple_CheckExact(entry) || PyTuple_GET_SIZE(entry) != 4) {
+            PyErr_SetString(PyExc_TypeError,
+                            "calendar entries must be 4-tuples");
+            return NULL;
+        }
+        PyObject *time = PyTuple_GET_ITEM(entry, 0);
+        if (has_until) {
+            int gt = PyObject_RichCompareBool(time, until, Py_GT);
+            if (gt < 0)
+                return NULL;
+            if (gt)
+                break;
+        }
+        entry = heap_pop(heap); /* new reference */
+        if (entry == NULL)
+            return NULL;
+        PyObject *payload = PyTuple_GET_ITEM(entry, 3);
+        PyObject *action;
+        if (PyList_CheckExact(payload)) {
+            action = PyList_GET_ITEM(payload, 0);
+            if (action == Py_None) { /* cancelled: lazy deletion */
+                Py_DECREF(entry);
+                continue;
+            }
+            Py_INCREF(action);
+            Py_INCREF(fired_sentinel);
+            PyList_SetItem(payload, 0, fired_sentinel);
+        }
+        else {
+            action = payload;
+            Py_INCREF(action);
+        }
+        /* Write state back before the action runs: event code may read
+         * sim.now / sim.pending or cancel handles (compaction math). */
+        time = PyTuple_GET_ITEM(entry, 0);
+        if (PyObject_SetAttr(sim, str_now, time) < 0)
+            goto fail;
+        {
+            PyObject *live = PyObject_GetAttr(sim, str_live);
+            if (live == NULL)
+                goto fail;
+            PyObject *dec = PyNumber_Subtract(live, long_one);
+            Py_DECREF(live);
+            if (dec == NULL)
+                goto fail;
+            int rc = PyObject_SetAttr(sim, str_live, dec);
+            Py_DECREF(dec);
+            if (rc < 0)
+                goto fail;
+        }
+        {
+            PyObject *fired = PyObject_GetAttr(stats, str_fired);
+            if (fired == NULL)
+                goto fail;
+            PyObject *inc = PyNumber_Add(fired, long_one);
+            Py_DECREF(fired);
+            if (inc == NULL)
+                goto fail;
+            int rc = PyObject_SetAttr(stats, str_fired, inc);
+            Py_DECREF(inc);
+            if (rc < 0)
+                goto fail;
+        }
+        {
+            PyObject *result = PyObject_CallNoArgs(action);
+            if (result == NULL)
+                goto fail;
+            Py_DECREF(result);
+        }
+        Py_DECREF(action);
+        Py_DECREF(entry);
+        continue;
+    fail:
+        Py_DECREF(action);
+        Py_DECREF(entry);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* -------------------------------------------------------- gate queries */
+
+static int
+as_int64(PyObject *obj, long long *out)
+{
+    long long value = PyLong_AsLongLong(obj);
+    if (value == -1 && PyErr_Occurred())
+        return -1;
+    *out = value;
+    return 0;
+}
+
+/* bisect_right over a list of int offsets. */
+static Py_ssize_t
+bisect_right_ll(PyObject *offsets, long long pos, Py_ssize_t n)
+{
+    Py_ssize_t lo = 0, hi = n;
+    while (lo < hi) {
+        Py_ssize_t mid = (lo + hi) >> 1;
+        long long value = PyLong_AsLongLong(PyList_GET_ITEM(offsets, mid));
+        if (value == -1 && PyErr_Occurred())
+            return -1;
+        if (pos < value)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+/* mask_at(offsets, masks, anchor_ns, cycle_ns, pre_mask, now) -> int
+ * pre_mask < 0 encodes the Python side's None. */
+static PyObject *
+fastpath_mask_at(PyObject *self, PyObject *args)
+{
+    PyObject *offsets, *masks;
+    long long anchor, cycle, pre_mask, now;
+    if (!PyArg_ParseTuple(args, "O!O!LLLL", &PyList_Type, &offsets,
+                          &PyList_Type, &masks, &anchor, &cycle,
+                          &pre_mask, &now))
+        return NULL;
+    Py_ssize_t n = PyList_GET_SIZE(offsets);
+    if (now < anchor) {
+        if (pre_mask >= 0)
+            return PyLong_FromLongLong(pre_mask);
+        PyObject *last = PyList_GET_ITEM(masks, n - 1);
+        Py_INCREF(last);
+        return last;
+    }
+    long long pos = (now - anchor) % cycle;
+    Py_ssize_t j = bisect_right_ll(offsets, pos, n);
+    if (j < 0)
+        return NULL;
+    PyObject *mask = PyList_GET_ITEM(masks, j - 1);
+    Py_INCREF(mask);
+    return mask;
+}
+
+/* open_run_remaining(offsets, masks, anchor_ns, cycle_ns, pre_mask,
+ *                    queue_id, now) -> int ns, or None (open forever).
+ * Mirrors _WindowTable.locate + open_run_remaining exactly. */
+static PyObject *
+fastpath_open_run_remaining(PyObject *self, PyObject *args)
+{
+    PyObject *offsets, *masks;
+    long long anchor, cycle, pre_mask, now;
+    int queue_id;
+    if (!PyArg_ParseTuple(args, "O!O!LLLiL", &PyList_Type, &offsets,
+                          &PyList_Type, &masks, &anchor, &cycle,
+                          &pre_mask, &queue_id, &now))
+        return NULL;
+    Py_ssize_t n = PyList_GET_SIZE(offsets);
+    long long bit = 1LL << queue_id;
+    long long mask, end;
+    Py_ssize_t j;
+    if (now < anchor) {
+        if (pre_mask >= 0)
+            mask = pre_mask;
+        else if (as_int64(PyList_GET_ITEM(masks, n - 1), &mask) < 0)
+            return NULL;
+        end = anchor;
+        j = -1;
+    }
+    else {
+        long long pos = (now - anchor) % cycle;
+        long long cycle_start = now - pos;
+        j = bisect_right_ll(offsets, pos, n);
+        if (j < 0)
+            return NULL;
+        j -= 1;
+        long long boundary;
+        if (j + 1 < n) {
+            if (as_int64(PyList_GET_ITEM(offsets, j + 1), &boundary) < 0)
+                return NULL;
+        }
+        else
+            boundary = cycle;
+        end = boundary + cycle_start;
+        if (as_int64(PyList_GET_ITEM(masks, j), &mask) < 0)
+            return NULL;
+    }
+    if (!(mask & bit))
+        return PyLong_FromLong(0);
+    long long total = end - now;
+    Py_ssize_t p = (j < 0) ? 0 : (j + 1) % n;
+    Py_ssize_t iters = (j >= 0) ? n - 1 : n;
+    for (Py_ssize_t i = 0; i < iters; i++) {
+        long long m;
+        if (as_int64(PyList_GET_ITEM(masks, p), &m) < 0)
+            return NULL;
+        if (!(m & bit))
+            return PyLong_FromLongLong(total);
+        long long start, next;
+        if (as_int64(PyList_GET_ITEM(offsets, p), &start) < 0)
+            return NULL;
+        if (p + 1 < n) {
+            if (as_int64(PyList_GET_ITEM(offsets, p + 1), &next) < 0)
+                return NULL;
+        }
+        else
+            next = cycle;
+        total += next - start;
+        p = (p + 1) % n;
+    }
+    Py_RETURN_NONE; /* open in every entry: open forever */
+}
+
+/* ---------------------------------------------------------------- module */
+
+static PyMethodDef fastpath_methods[] = {
+    {"run_loop", fastpath_run_loop, METH_VARARGS,
+     "Dispatch calendar events until empty or past `until`."},
+    {"mask_at", fastpath_mask_at, METH_VARARGS,
+     "Gate mask active at `now` for one lowered window table."},
+    {"open_run_remaining", fastpath_open_run_remaining, METH_VARARGS,
+     "ns until a queue's out-gate closes (0 closed, None never)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef fastpath_module = {
+    PyModuleDef_HEAD_INIT, "_fastpath",
+    "Compiled kernel dispatch + gate-window lookup (optional backend).",
+    -1, fastpath_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__fastpath(void)
+{
+    str_now = PyUnicode_InternFromString("_now");
+    str_live = PyUnicode_InternFromString("_live");
+    str_fired = PyUnicode_InternFromString("fired");
+    long_one = PyLong_FromLong(1);
+    if (str_now == NULL || str_live == NULL || str_fired == NULL
+        || long_one == NULL)
+        return NULL;
+    return PyModule_Create(&fastpath_module);
+}

@@ -1,0 +1,123 @@
+"""Loader/builder for the optional compiled kernel backend.
+
+The C extension in ``_fastpath.c`` implements the event-loop inner
+dispatch and the gate-window lookups.  It is strictly optional: this
+module compiles it on demand with whatever C compiler the host offers
+(``cc``, via :mod:`sysconfig` include paths -- no setuptools, no network)
+and silently reports "unavailable" when there is no toolchain, so the
+pure-Python kernel remains the reference implementation everywhere.
+
+``load()`` is idempotent and caches its result; the compiled object goes
+next to the source when the package directory is writable, else into a
+per-user temp directory keyed by Python ABI tag.
+
+Selection is explicit -- ``Simulator(backend="c")`` or ``REPRO_BACKEND=c``
+-- never automatic: a benchmark must know (and record) which backend it
+measured (see ``repro bench check``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["load", "available", "build", "extension_path"]
+
+_SOURCE = Path(__file__).with_name("_fastpath.c")
+
+_cached = False
+_module: Optional[object] = None
+
+
+def _suffix() -> str:
+    return sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+
+
+def _candidate_dirs() -> list:
+    tag = f"py{sys.version_info.major}{sys.version_info.minor}"
+    return [
+        _SOURCE.parent,
+        Path(tempfile.gettempdir()) / f"repro-fastpath-{tag}-{os.getuid()}",
+    ]
+
+
+def extension_path() -> Optional[Path]:
+    """Where a compiled extension lives (or would live), if any exists."""
+    name = "_fastpath" + _suffix()
+    for directory in _candidate_dirs():
+        path = directory / name
+        if path.exists():
+            return path
+    return None
+
+
+def build(verbose: bool = False) -> Optional[Path]:
+    """Compile the extension; None when no toolchain (or compile fails).
+
+    Stdlib-only: invokes ``cc`` directly with the interpreter's include
+    directory.  Linking is ``-shared`` without ``-lpython``; the symbols
+    resolve against the running interpreter at import time, the same
+    arrangement setuptools uses on ELF platforms.
+    """
+    if not _SOURCE.exists():
+        return None
+    cc = os.environ.get("CC", "cc")
+    include = sysconfig.get_paths()["include"]
+    name = "_fastpath" + _suffix()
+    for directory in _candidate_dirs():
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            target = directory / name
+            if (
+                target.exists()
+                and target.stat().st_mtime >= _SOURCE.stat().st_mtime
+            ):
+                return target
+            cmd = [
+                cc, "-O2", "-shared", "-fPIC",
+                f"-I{include}", str(_SOURCE), "-o", str(target),
+            ]
+            result = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if result.returncode == 0:
+                return target
+            if verbose:
+                sys.stderr.write(result.stderr)
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def load() -> Optional[object]:
+    """The compiled module, building it if needed; None when unavailable."""
+    global _cached, _module
+    if _cached:
+        return _module
+    _cached = True
+    path = extension_path()
+    if path is None:
+        path = build()
+    if path is None:
+        return None
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "repro.sim._fastpath", path
+        )
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except Exception:
+        return None
+    _module = module
+    return _module
+
+
+def available() -> bool:
+    return load() is not None

@@ -44,6 +44,11 @@ class Tracer:
     1
     """
 
+    #: Cheap hot-path gate: ``False`` only on the do-nothing singleton, so
+    #: dataplane call sites can skip building messages/kwargs entirely
+    #: (``if tracer.active: tracer.emit(...)``) without a method call.
+    active: bool = True
+
     def __init__(
         self,
         enabled: Optional[Iterable[str]] = None,
@@ -93,6 +98,8 @@ class _NullTracer(Tracer):
     here -- enabling a category on the singleton would silently turn on
     record collection for *every* component built without a tracer.
     """
+
+    active = False
 
     def __init__(self) -> None:
         super().__init__(enabled=())

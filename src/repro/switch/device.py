@@ -78,6 +78,7 @@ class TsnSwitch:
         headroom: Optional[HeadroomRecorder] = None,
         gate_events: str = "auto",
         name: Optional[str] = None,
+        batch=None,
     ) -> None:
         config.validate()
         self._sim = sim
@@ -121,9 +122,13 @@ class TsnSwitch:
             if metrics is not None
             else None
         )
+        #: Optional :class:`~repro.switch.batch.FrameBatch`; when set, the
+        #: dataplane also moves integer frame handles (the batched fast
+        #: path -- see docs/performance.md).
+        self._batch = batch
         self.counters = SwitchCounters()
         self.pipeline = SwitchPipeline(
-            config, self.counters, instruments=self.instruments
+            config, self.counters, instruments=self.instruments, batch=batch
         )
         self.ports: List[EgressPort] = []
         self._local_hosts: Dict[int, "DeliverFn"] = {}
@@ -188,6 +193,7 @@ class TsnSwitch:
             spans=self._spans,
             headroom=headroom_probes,
             name=f"{self.name}.p{port_id}",
+            batch=self._batch,
         )
         engine.set_on_change(port.kick)
         self.ports.append(port)
@@ -308,39 +314,65 @@ class TsnSwitch:
 
     # ------------------------------------------------------------- dataplane
 
-    def receive(self, frame: EthernetFrame, inport: Optional[int] = None) -> None:
-        """A frame arrived (fully, store-and-forward) from a link."""
+    def _flow_of(self, frame) -> int:
+        return (
+            self._batch.flow_id[frame] if type(frame) is int
+            else frame.flow_id
+        )
+
+    def _span_frame(self, frame):
+        return (
+            self._batch.materialize(frame) if type(frame) is int else frame
+        )
+
+    def receive(self, frame, inport: Optional[int] = None) -> None:
+        """A frame arrived (fully, store-and-forward) from a link.
+
+        *frame* is an :class:`EthernetFrame` or, on the batched fast path,
+        an integer :class:`~repro.switch.batch.FrameBatch` handle.
+        """
         self.counters.received += 1
         if self.instruments is not None:
             self.instruments.on_received()
         if self._spans is not None:
-            self._spans.record(self._sim.now, "ingress", self.name, frame)
-        if not frame.fcs_ok:
+            self._spans.record(
+                self._sim.now, "ingress", self.name, self._span_frame(frame)
+            )
+        fcs_ok = (
+            self._batch.fcs_ok[frame] if type(frame) is int else frame.fcs_ok
+        )
+        if not fcs_ok:
             # The MAC's FCS check rejects bit-errored frames before the
             # pipeline ever sees them, exactly like real ingress silicon.
             self.counters.dropped_corrupt += 1
-            self._tracer.emit(
-                self._sim.now, "drop", f"{self.name} corrupt_fcs",
-                flow=frame.flow_id,
-            )
+            if self._tracer.active:
+                self._tracer.emit(
+                    self._sim.now, "drop", f"{self.name} corrupt_fcs",
+                    flow=self._flow_of(frame),
+                )
             if self._spans is not None:
-                self._spans.record(self._sim.now, "drop", self.name, frame)
+                self._spans.record(
+                    self._sim.now, "drop", self.name, self._span_frame(frame)
+                )
             return
         self._sim.post(
             self.processing_delay_ns, lambda: self._process(frame)
         )
 
-    def _process(self, frame: EthernetFrame) -> None:
+    def _process(self, frame) -> None:
         decision = self.pipeline.process(frame, self._sim.now)
         if decision.dropped:
-            self._tracer.emit(
-                self._sim.now,
-                "drop",
-                f"{self.name} {decision.drop_reason}",
-                flow=frame.flow_id,
-            )
+            if self._tracer.active:
+                self._tracer.emit(
+                    self._sim.now,
+                    "drop",
+                    f"{self.name} {decision.drop_reason}",
+                    flow=self._flow_of(frame),
+                )
             if self._spans is not None:
-                self._spans.record(self._sim.now, "drop", self.name, frame)
+                self._spans.record(
+                    self._sim.now, "drop", self.name, self._span_frame(frame)
+                )
             return
         for outport, queue_id in decision.targets:
             local = self._local_hosts.get(outport)

@@ -86,21 +86,46 @@ class EthernetFrame:
     def is_multicast(self) -> bool:
         return is_multicast(self.dst_mac)
 
+    def corrupted(self) -> "EthernetFrame":
+        """A per-hop copy of this frame with ``fcs_ok=False``.
 
-@dataclass
+        Equivalent to ``dataclasses.replace(self, fcs_ok=False)`` (the
+        ``frame_id`` is preserved, no fresh id is drawn) but skips the
+        re-validation pass -- links corrupt frames on the hot path.
+        """
+        clone = object.__new__(EthernetFrame)
+        clone.__dict__.update(self.__dict__)
+        object.__setattr__(clone, "fcs_ok", False)
+        return clone
+
+
 class Descriptor:
     """The queue-resident metadata word referencing a buffered frame.
 
     The reproduction keeps a Python reference to the frame for convenience;
     the *modelled* width is the configured 32 bits (buffer slot id, length,
-    and flags), which is what the BRAM cost model charges for.
+    and flags), which is what the BRAM cost model charges for.  On the
+    batched fast path ``frame`` holds an integer
+    :class:`~repro.switch.batch.FrameBatch` handle instead of an
+    :class:`EthernetFrame`, and the length is carried explicitly.
     """
 
-    frame: EthernetFrame
-    buffer_slot: int
-    enqueued_ns: int
-    queue_id: int
+    __slots__ = ("frame", "buffer_slot", "enqueued_ns", "queue_id",
+                 "size_bytes")
 
-    @property
-    def size_bytes(self) -> int:
-        return self.frame.size_bytes
+    def __init__(self, frame, buffer_slot: int, enqueued_ns: int,
+                 queue_id: int, size_bytes: Optional[int] = None):
+        self.frame = frame
+        self.buffer_slot = buffer_slot
+        self.enqueued_ns = enqueued_ns
+        self.queue_id = queue_id
+        self.size_bytes = (
+            frame.size_bytes if size_bytes is None else size_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Descriptor(frame={self.frame!r}, "
+            f"buffer_slot={self.buffer_slot}, "
+            f"enqueued_ns={self.enqueued_ns}, queue_id={self.queue_id})"
+        )

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import SwitchConfig
 from repro.obs.instruments import SwitchInstruments
 from .counters import SwitchCounters
-from .packet import EthernetFrame
+from .packet import EthernetFrame, is_multicast
 from .tables import (
     ClassificationTable,
     ClassTarget,
@@ -60,10 +60,14 @@ class SwitchPipeline:
         config: SwitchConfig,
         counters: SwitchCounters,
         instruments: Optional[SwitchInstruments] = None,
+        batch=None,
     ):
         self.config = config
         self.counters = counters
         self._obs = instruments
+        #: Optional :class:`~repro.switch.batch.FrameBatch`; when set,
+        #: :meth:`process` also accepts integer frame handles.
+        self._batch = batch
         self.unicast = UnicastTable(config.unicast_size)
         self.multicast: Optional[MulticastTable] = (
             MulticastTable(config.multicast_size)
@@ -106,15 +110,50 @@ class SwitchPipeline:
 
     # ------------------------------------------------------------ full path
 
-    def process(self, frame: EthernetFrame, now_ns: int) -> ForwardingDecision:
-        """Run a frame through classify/police/lookup; count drops."""
-        target = self.classify(frame)
-        if not self.police(frame, target, now_ns):
-            self.counters.dropped_policer += 1
-            if self._obs is not None:
-                self._obs.on_drop("policer")
-            return ForwardingDecision((), "policer")
-        outports = self.lookup(frame)
+    def process(self, frame, now_ns: int) -> ForwardingDecision:
+        """Run a frame through classify/police/lookup; count drops.
+
+        *frame* is an :class:`EthernetFrame` or, on the batched fast path,
+        an integer :class:`~repro.switch.batch.FrameBatch` handle -- the
+        stages only ever touch the parsed header fields.
+        """
+        if type(frame) is int:
+            batch = self._batch
+            return self._process_fields(
+                batch.src_mac[frame], batch.dst_mac[frame],
+                batch.vlan_id[frame], batch.priority[frame],
+                batch.size_bytes[frame], now_ns,
+            )
+        return self._process_fields(
+            frame.src_mac, frame.dst_mac, frame.vlan_id, frame.pcp,
+            frame.size_bytes, now_ns,
+        )
+
+    def _process_fields(
+        self, src_mac: int, dst_mac: int, vlan_id: int, pcp: int,
+        size_bytes: int, now_ns: int,
+    ) -> ForwardingDecision:
+        target = self.classification.classify(src_mac, dst_mac, vlan_id, pcp)
+        if target is None:
+            target = ClassTarget(meter_id=-1, queue_id=pcp)
+        if target.meter_id >= 0:
+            meter = self.meters.meter(target.meter_id)
+            if meter is not None:
+                conformed = meter.offer(now_ns, size_bytes)
+                if self._obs is not None:
+                    self._obs.on_meter(conformed)
+                if not conformed:
+                    self.counters.dropped_policer += 1
+                    if self._obs is not None:
+                        self._obs.on_drop("policer")
+                    return ForwardingDecision((), "policer")
+        if is_multicast(dst_mac) and self.multicast is not None:
+            outports = (
+                self.multicast.find_outports(dst_mac & _MC_ID_MASK) or ()
+            )
+        else:
+            outport = self.unicast.find_outport(dst_mac, vlan_id)
+            outports = () if outport is None else (outport,)
         if not outports:
             self.counters.dropped_unknown_dst += 1
             if self._obs is not None:

@@ -107,6 +107,7 @@ class EgressPort:
         spans: Optional[FlowSpanRecorder] = None,
         headroom: Optional[PortHeadroomProbes] = None,
         name: str = "port",
+        batch=None,
     ) -> None:
         if rate_bps <= 0:
             raise ConfigurationError(f"port rate must be positive, got {rate_bps}")
@@ -127,6 +128,9 @@ class EgressPort:
         self._obs = instruments
         self._spans = spans
         self._headroom = headroom
+        #: Optional :class:`~repro.switch.batch.FrameBatch`; when set,
+        #: ``enqueue`` also accepts integer frame handles.
+        self._batch = batch
         self.name = name
         self._deliver: Optional[DeliverFn] = None
         self._busy_until = 0
@@ -155,6 +159,19 @@ class EgressPort:
 
     # --------------------------------------------------------------- ingress
 
+    def _flow_of(self, frame) -> int:
+        """The flow id of a frame object or batch handle (observer paths)."""
+        return (
+            self._batch.flow_id[frame] if type(frame) is int
+            else frame.flow_id
+        )
+
+    def _span_frame(self, frame):
+        """A real frame object for the span recorder (materializes handles)."""
+        return (
+            self._batch.materialize(frame) if type(frame) is int else frame
+        )
+
     def enqueue(self, frame: EthernetFrame, queue_id: int) -> bool:
         """Admit *frame* toward queue *queue_id*; False if dropped.
 
@@ -172,26 +189,35 @@ class EgressPort:
             if self._obs is not None:
                 self._obs.on_drop("gate")
             if self._spans is not None:
-                self._spans.record(self._sim.now, "drop", self.name, frame)
+                self._spans.record(
+                    self._sim.now, "drop", self.name, self._span_frame(frame)
+                )
             return False
         queue = self._queue_by_id.get(target_id)
         if queue is None:
             raise SimulationError(
                 f"{self.name}: gate selected unknown queue {target_id}"
             )
-        slot = self.pool.allocate(frame)
+        size_bytes = (
+            self._batch.size_bytes[frame] if type(frame) is int
+            else frame.size_bytes
+        )
+        slot = self.pool.allocate(size_bytes)
         if slot is None:
             self.counters.dropped_no_buffer += 1
             if self._obs is not None:
                 self._obs.on_drop("no_buffer")
             if self._spans is not None:
-                self._spans.record(self._sim.now, "drop", self.name, frame)
+                self._spans.record(
+                    self._sim.now, "drop", self.name, self._span_frame(frame)
+                )
             return False
         descriptor = Descriptor(
             frame=frame,
             buffer_slot=slot,
             enqueued_ns=self._sim.now,
             queue_id=target_id,
+            size_bytes=size_bytes,
         )
         if not queue.enqueue(descriptor):
             self.pool.release(slot)
@@ -199,7 +225,9 @@ class EgressPort:
             if self._obs is not None:
                 self._obs.on_drop("tail")
             if self._spans is not None:
-                self._spans.record(self._sim.now, "drop", self.name, frame)
+                self._spans.record(
+                    self._sim.now, "drop", self.name, self._span_frame(frame)
+                )
             return False
         self.counters.note_enqueue(target_id)
         if self._obs is not None:
@@ -211,17 +239,19 @@ class EgressPort:
             self._headroom.on_buffer(self.pool.in_use, now)
         if self._spans is not None:
             self._spans.record(
-                self._sim.now, "enqueue", self.name, frame, target_id
+                self._sim.now, "enqueue", self.name,
+                self._span_frame(frame), target_id
             )
         self._update_shaper_backlog(target_id)
-        self._tracer.emit(
-            self._sim.now,
-            "queue",
-            f"{self.name} enqueue",
-            queue=target_id,
-            occupancy=len(queue),
-            flow=frame.flow_id,
-        )
+        if self._tracer.active:
+            self._tracer.emit(
+                self._sim.now,
+                "queue",
+                f"{self.name} enqueue",
+                queue=target_id,
+                occupancy=len(queue),
+                flow=self._flow_of(frame),
+            )
         self.kick()
         return True
 
@@ -235,7 +265,9 @@ class EgressPort:
     # ---------------------------------------------------------------- egress
 
     def _serialization_ns(self, frame_bytes: int) -> int:
-        return serialization_ns(frame_bytes, self.rate_bps)
+        # Inlined :func:`repro.core.units.serialization_ns` (ceil of
+        # bits/rate); called once per arbitration-eligibility check.
+        return -(-frame_bytes * 8_000_000_000 // self.rate_bps)
 
     def kick(self) -> None:
         """(Re-)arbitrate; called on enqueue, gate wakeups, tx completion.
@@ -360,10 +392,17 @@ class EgressPort:
         tx.fragment_start_ns = now
         tx.fragment_data_bytes = data_bytes
         tx.cut_scheduled = False
-        tx.data_done_handle = self._sim.schedule(
-            data_time, lambda: self._fragment_data_done(tx)
-        )
-        tx.idle_handle = self._sim.schedule(wire_time, self._tx_idle)
+        if self.preemption_enabled:
+            tx.data_done_handle = self._sim.schedule(
+                data_time, lambda: self._fragment_data_done(tx)
+            )
+            tx.idle_handle = self._sim.schedule(wire_time, self._tx_idle)
+        else:
+            # Only a preemption cut ever cancels these; without preemption
+            # the fire-and-forget path skips two handle allocations per
+            # transmission (event order and SimStats are identical).
+            self._sim.post(data_time, lambda: self._fragment_data_done(tx))
+            self._sim.post(wire_time, self._tx_idle)
         self._busy_until = now + wire_time
         self._active = tx
 
@@ -378,7 +417,8 @@ class EgressPort:
             self._headroom.on_queue(queue.queue_id, len(queue), now)
         if self._spans is not None:
             self._spans.record(
-                now, "dequeue", self.name, descriptor.frame, queue.queue_id
+                now, "dequeue", self.name,
+                self._span_frame(descriptor.frame), queue.queue_id
             )
         shaper = self.scheduler.shapers.get(queue.queue_id)
         if shaper is not None:
@@ -387,14 +427,15 @@ class EgressPort:
             self.preemption_enabled
             and queue.queue_id not in self.express_queues
         )
-        self._tracer.emit(
-            now,
-            "tx",
-            f"{self.name} start",
-            queue=queue.queue_id,
-            flow=descriptor.frame.flow_id,
-            bytes=descriptor.size_bytes,
-        )
+        if self._tracer.active:
+            self._tracer.emit(
+                now,
+                "tx",
+                f"{self.name} start",
+                queue=queue.queue_id,
+                flow=self._flow_of(descriptor.frame),
+                bytes=descriptor.size_bytes,
+            )
         tx = _ActiveTx(
             descriptor=descriptor,
             queue_id=queue.queue_id,
@@ -413,8 +454,7 @@ class EgressPort:
 
     def _can_resume(self, tx: _ActiveTx) -> bool:
         remaining = tx.total_bytes - tx.bytes_done
-        if not self.gates.out_open(tx.queue_id):
-            return False
+        # Fused gate query: 0 = closed, None = open forever.
         window = self.gates.time_until_out_close(tx.queue_id)
         needed = self._serialization_ns(remaining)
         return window is None or needed <= window
@@ -426,14 +466,15 @@ class EgressPort:
         shaper = self.scheduler.shapers.get(tx.queue_id)
         if shaper is not None:
             shaper.begin_transmission(self._sim.now)
-        self._tracer.emit(
-            self._sim.now,
-            "tx",
-            f"{self.name} resume",
-            queue=tx.queue_id,
-            flow=tx.descriptor.frame.flow_id,
-            remaining=remaining,
-        )
+        if self._tracer.active:
+            self._tracer.emit(
+                self._sim.now,
+                "tx",
+                f"{self.name} resume",
+                queue=tx.queue_id,
+                flow=self._flow_of(tx.descriptor.frame),
+                remaining=remaining,
+            )
         self._begin_fragment(
             tx,
             data_bytes=remaining,
@@ -477,14 +518,15 @@ class EgressPort:
             shaper.end_transmission(
                 self._sim.now, not self._queue_by_id[tx.queue_id].empty
             )
-        self._tracer.emit(
-            self._sim.now,
-            "tx",
-            f"{self.name} preempt",
-            queue=tx.queue_id,
-            flow=tx.descriptor.frame.flow_id,
-            done=tx.bytes_done,
-        )
+        if self._tracer.active:
+            self._tracer.emit(
+                self._sim.now,
+                "tx",
+                f"{self.name} preempt",
+                queue=tx.queue_id,
+                flow=self._flow_of(tx.descriptor.frame),
+                done=tx.bytes_done,
+            )
         self._active = None
         self._suspended = tx
 
@@ -506,8 +548,8 @@ class EgressPort:
             self._headroom.on_buffer(self.pool.in_use, self._sim.now)
         if self._spans is not None:
             self._spans.record(
-                self._sim.now, "tx", self.name, tx.descriptor.frame,
-                tx.queue_id
+                self._sim.now, "tx", self.name,
+                self._span_frame(tx.descriptor.frame), tx.queue_id
             )
         shaper = self.scheduler.shapers.get(tx.queue_id)
         if shaper is not None:

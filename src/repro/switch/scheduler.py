@@ -58,6 +58,23 @@ class EgressScheduler:
         self.shapers: Dict[int, CreditBasedShaper] = dict(shapers or {})
         self._retry: Optional[int] = None
         self._gate_wake: Optional[int] = None
+        self._order_src: Optional[Sequence[MetadataQueue]] = None
+        self._order: Sequence[MetadataQueue] = ()
+
+    def _ordered(
+        self, queues: Sequence[MetadataQueue]
+    ) -> Sequence[MetadataQueue]:
+        """*queues* sorted by descending id, cached per queue set.
+
+        A port arbitrates with the same queue list on every transmission
+        opportunity; re-sorting it each time showed up in profiles.
+        """
+        if self._order_src is not queues:
+            self._order = sorted(
+                queues, key=lambda q: q.queue_id, reverse=True
+            )
+            self._order_src = queues
+        return self._order
 
     def _note_gate_wake(
         self,
@@ -77,18 +94,23 @@ class EgressScheduler:
         queue: MetadataQueue,
         gates: GateEngine,
         serialization_ns_of: Callable[[int], int],
+        head=None,
     ) -> bool:
-        head = queue.head()
+        # Callers that already peeked the head descriptor pass it in; the
+        # redundant empty-probe + re-peek per queue showed up in profiles.
         if head is None:
-            return False
+            head = queue.head()
+            if head is None:
+                return False
         serialization = serialization_ns_of(head.size_bytes)
-        if not gates.out_open(queue.queue_id):
-            if gates.needs_wake_hints:
-                self._note_gate_wake(gates, queue.queue_id, serialization)
-            return False
+        # One fused gate query: ``time_until_out_close`` already folds the
+        # open/closed state in (0 = closed, None = open forever), so the
+        # separate ``out_open`` probe -- a second window-table walk per
+        # arbitration -- is redundant.
         window = gates.time_until_out_close(queue.queue_id)
         if window is not None and serialization > window:
-            # Would overrun the gate window; wake at the next one that fits.
+            # Gate closed, or the frame would overrun the remaining window;
+            # wake at the next window that fits.
             if gates.needs_wake_hints:
                 self._note_gate_wake(gates, queue.queue_id, serialization)
             return False
@@ -127,8 +149,12 @@ class StrictPriorityScheduler(EgressScheduler):
         """
         self._retry = None
         self._gate_wake = None
-        for queue in sorted(queues, key=lambda q: q.queue_id, reverse=True):
-            if self._eligible(now_ns, queue, gates, serialization_ns_of):
+        for queue in self._ordered(queues):
+            head = queue.head()
+            if head is None:
+                continue
+            if self._eligible(now_ns, queue, gates, serialization_ns_of,
+                              head):
                 return SchedulerDecision(queue.queue_id)
         return SchedulerDecision(
             None,
@@ -174,7 +200,7 @@ class DeficitRoundRobinScheduler(EgressScheduler):
     ) -> SchedulerDecision:
         self._retry = None
         self._gate_wake = None
-        ordered = sorted(queues, key=lambda q: q.queue_id, reverse=True)
+        ordered = self._ordered(queues)
         # Stage 1: strict priority for the gated TS queues.
         for queue in ordered:
             if queue.queue_id < self.priority_floor:
@@ -192,10 +218,11 @@ class DeficitRoundRobinScheduler(EgressScheduler):
         candidates = []
         for step in range(count):
             queue = drr_queues[(self._rotation + step) % count]
-            if not self._eligible(now_ns, queue, gates, serialization_ns_of):
-                continue
             head = queue.head()
-            assert head is not None
+            if head is None or not self._eligible(
+                now_ns, queue, gates, serialization_ns_of, head
+            ):
+                continue
             deficit = self._deficits.get(queue.queue_id, 0)
             need = head.size_bytes - deficit
             per_round = self.quantum_bytes * self._weight(queue.queue_id)
