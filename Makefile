@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install fastpath test test-c bench bench-obs bench-campaign bench-kernel bench-sched bench-check bench-full examples lint-rtl outputs clean
+.PHONY: install fastpath test test-c bench bench-obs bench-campaign bench-kernel bench-sched bench-shard bench-check bench-full examples lint-rtl outputs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,9 @@ bench-kernel:
 
 bench-sched:
 	$(PYTHON) benchmarks/bench_sched.py --output BENCH_sched.json
+
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py --output BENCH_shard.json
 
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench check --suite all

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Scaling curve of the sharded single-run simulation mode.
+
+Measures one deep ring fabric (every frame traverses every switch) at
+1, 2 and 4 shards and writes ``BENCH_shard.json``.  Two rates per point:
+
+* ``frames_per_s``          -- delivered frames over wall clock, process
+  spawn and testbed build included.
+* ``frames_per_s_critical`` -- delivered frames over the critical path
+  (slowest shard's busy time plus un-overlapped coordination).  On a
+  machine with fewer cores than shards the wall clock serializes shard
+  compute, so only this rate shows the parallelism the link-cut
+  partition exposes; the payload records ``cores`` so readers can tell
+  which regime produced the numbers.
+
+The measurement core lives in :mod:`repro.bench.shard` (so ``repro bench
+check --suite shard`` can gate it without shelling out); this script is
+the human-facing CLI.
+
+Usage::
+
+    python benchmarks/bench_shard.py                      # full measurement
+    python benchmarks/bench_shard.py --smoke              # CI: small + fast
+    python benchmarks/bench_shard.py --output BENCH_shard.json
+    python benchmarks/bench_shard.py --smoke --check BENCH_shard.json
+
+``--check`` compares the measured critical-path throughputs against the
+committed baseline and exits 1 on a >25% regression (tunable with
+``--tolerance``); full-scale checks additionally enforce the >=2x
+4-shard critical-path speedup acceptance bar.  CI runs the same gate as
+``repro bench check --suite shard --smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.shard import (                            # noqa: E402
+    SHARD_CURVE,
+    curve_speedup,
+    measure,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fabric for CI (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="samples per curve point (default: 3)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the scaling-curve JSON here")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_shard.json "
+                             "and fail on critical-path regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression for --check "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else 3
+    cores = os.cpu_count() or 1
+    print(f"# shard benchmarks ({'smoke' if args.smoke else 'full'}, "
+          f"{repeats} repeat(s), {cores} core(s))", file=sys.stderr)
+    curve = measure(args.smoke, repeats)
+
+    for count in SHARD_CURVE:
+        point = curve[f"shards_{count}"]
+        print(f" {count} shard(s): {point['wall_s'] * 1000:>10,.1f} ms wall / "
+              f"{point['critical_path_s'] * 1000:>10,.1f} ms critical "
+              f"({point['frames_per_s']:,.0f} / "
+              f"{point['frames_per_s_critical']:,.0f} frames/s, "
+              f"{point['epochs']} epoch(s))")
+
+    speedup = curve_speedup(curve)
+    payload = {
+        "benchmark": "bench_shard",
+        "params": {
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "cores": cores,
+            "switches": curve["shards_1"]["switches"],
+        },
+        "after": curve,
+        "speedup": speedup,
+    }
+    if not args.smoke:
+        # Smoke-scale reference numbers for the CI regression gate: the
+        # same sizes `--smoke --check` measures, captured on this machine.
+        payload["smoke_reference"] = measure(smoke=True, repeats=repeats)
+    for name, ratio in speedup.items():
+        print(f" speedup {name}: {ratio:.2f}x")
+    if args.output:
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"# wrote {args.output}", file=sys.stderr)
+    if args.check:
+        from repro.bench.check import check_shard
+
+        return check_shard(args.check, smoke=args.smoke,
+                           tolerance=args.tolerance, repeats=repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Sharded-simulation scaling benchmark (the ``BENCH_shard.json`` curve).
+
+Measures one ring fabric at 1/2/4 shards and reports two rates per point:
+
+* ``frames_per_s``          -- delivered frames over *wall clock*, spawn
+  and build included.  What a user actually experiences on this machine.
+* ``frames_per_s_critical`` -- delivered frames over the *critical path*:
+  ``max(per-shard busy) + (wall - sum(busy))``, i.e. the slowest shard's
+  compute plus everything not overlapped by compute (coordination,
+  barriers, build).  On a box with at least as many cores as shards the
+  two converge; on fewer cores the wall clock serializes shard compute
+  and only the critical path shows the parallel speedup the partition
+  actually exposes.
+
+The speedup gate therefore reads ``frames_per_s_critical`` and the
+payload records ``cores`` so a reader can tell which regime produced the
+numbers.  Frame counts are identical at every shard count (the
+byte-determinism contract), so speedups reduce to critical-path ratios.
+
+Lives here (not only in ``benchmarks/``) so ``repro bench check`` can
+re-measure and gate without shelling out; ``benchmarks/bench_shard.py``
+is the human-facing CLI on top of these functions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Tuple
+
+from repro.sim.shard import run_sharded
+
+__all__ = [
+    "SHARD_CURVE",
+    "GATED",
+    "ring_scenario",
+    "bench_ring_sharded",
+    "measure",
+    "measure_gated",
+    "samplers",
+    "curve_speedup",
+]
+
+#: Shard counts measured for the scaling curve, in order.
+SHARD_CURVE: Tuple[int, ...] = (1, 2, 4)
+
+#: Curve points whose critical-path throughput the regression gate
+#: watches.  The endpoints carry the claim: 1 shard anchors the baseline
+#: cost of the partitioned machinery, 4 shards carries the speedup.
+GATED: Tuple[Tuple[str, str], ...] = (
+    ("shards_1", "frames_per_s_critical"),
+    ("shards_4", "frames_per_s_critical"),
+)
+
+
+def ring_scenario(
+    switch_count: int,
+    ts_count: int,
+    duration_ms: float,
+    propagation_ns: int = 50_000,
+) -> Dict[str, Any]:
+    """The benchmark fabric: a deep unidirectional ring.
+
+    Every frame traverses every switch, so per-shard busy time tracks the
+    number of owned switches -- the workload a link-cut partition is
+    supposed to parallelize.  ``propagation_ns`` doubles as the lookahead
+    window; 50us keeps the epoch count (and thus coordination overhead)
+    low relative to compute.
+    """
+    return {
+        "name": f"shard-bench-ring{switch_count}",
+        "topology": {
+            "kind": "ring",
+            "switch_count": switch_count,
+            "talkers": ["talker0", "talker1"],
+            "listener": "listener",
+        },
+        "flows": {
+            "ts_count": ts_count,
+            "period_us": 1_000,
+            "size_bytes": 64,
+        },
+        "duration_ms": duration_ms,
+        "propagation_ns": propagation_ns,
+    }
+
+
+def bench_ring_sharded(
+    switch_count: int,
+    shards: int,
+    ts_count: int,
+    duration_ms: float,
+    propagation_ns: int = 50_000,
+) -> Dict[str, Any]:
+    """One curve point: run the ring at ``shards`` and time it."""
+    scenario = ring_scenario(
+        switch_count, ts_count, duration_ms, propagation_ns
+    )
+    start = time.perf_counter()
+    result = run_sharded(scenario, shards=shards)
+    wall_s = time.perf_counter() - start
+    timing = result.shard_timing
+    frames = result.analyzer.received()
+    critical_s = timing["critical_path_s"]
+    return {
+        "shards": shards,
+        "switches": switch_count,
+        "frames": frames,
+        "epochs": timing["epochs"],
+        "wall_s": wall_s,
+        "busy_s": [round(b, 6) for b in timing["busy_s"]],
+        "critical_path_s": critical_s,
+        "frames_per_s": frames / wall_s,
+        "frames_per_s_critical": frames / critical_s,
+    }
+
+
+def _scale(smoke: bool) -> Dict[str, Any]:
+    # Full scale is the acceptance fabric (>=256 switches); smoke keeps
+    # CI in seconds while exercising the same partition/coordination
+    # machinery end to end.
+    if smoke:
+        return {"switch_count": 64, "ts_count": 4, "duration_ms": 10}
+    return {"switch_count": 256, "ts_count": 16, "duration_ms": 40}
+
+
+def samplers(smoke: bool) -> Dict[str, Tuple[Callable[[], dict], str]]:
+    """name -> (callable, throughput key) at the given scale."""
+    scale = _scale(smoke)
+    fns: Dict[str, Tuple[Callable[[], dict], str]] = {}
+    for count in SHARD_CURVE:
+        fns[f"shards_{count}"] = (
+            lambda count=count: bench_ring_sharded(
+                scale["switch_count"], count,
+                scale["ts_count"], scale["duration_ms"],
+            ),
+            "frames_per_s_critical",
+        )
+    return fns
+
+
+def _best(fns: Dict[str, Tuple[Callable[[], dict], str]],
+          name: str, repeats: int) -> dict:
+    fn, key = fns[name]
+    samples = [fn() for _ in range(repeats)]
+    return max(samples, key=lambda s: s[key])
+
+
+def measure(smoke: bool, repeats: int = 3) -> Dict[str, dict]:
+    """Measure the full 1/2/4-shard curve (best of ``repeats``).
+
+    No separate warm-up pass: every sample pays its own process spawn,
+    which is part of what the wall-clock rate is meant to show.
+    """
+    fns = samplers(smoke)
+    return {name: _best(fns, name, repeats) for name in fns}
+
+
+def measure_gated(smoke: bool, repeats: int = 3) -> Dict[str, dict]:
+    """Measure only the gated curve points (the regression-check set)."""
+    fns = samplers(smoke)
+    return {name: _best(fns, name, repeats) for name, _ in GATED}
+
+
+def curve_speedup(curve: Dict[str, dict]) -> Dict[str, float]:
+    """Critical-path and wall-clock speedups of every point vs 1 shard."""
+    base = curve.get("shards_1")
+    if not base:
+        return {}
+    out: Dict[str, float] = {}
+    for name, point in curve.items():
+        if name == "shards_1":
+            continue
+        out[f"{name}_critical"] = round(
+            base["critical_path_s"] / point["critical_path_s"], 3
+        )
+        out[f"{name}_wall"] = round(base["wall_s"] / point["wall_s"], 3)
+    return out

@@ -24,18 +24,49 @@ aggregated, and heartbeats stream to a separate status file.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Callable, Dict, IO, List, Optional, Union
 
+from repro.core.errors import SimulationError
+
 from .pareto import aggregate_rows
 from .spec import PlannedRun, SweepSpec
 from .worker import execute_run
 
-__all__ = ["Campaign"]
+__all__ = ["Campaign", "pool_context", "worker_init"]
 
 Progress = Callable[[Dict[str, Any], int, int], None]
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The explicit multiprocessing context campaign pools run under.
+
+    ``fork`` where the platform offers it (cheap, and the worker payload
+    is picklable either way), ``spawn`` elsewhere -- but always *chosen*,
+    never the interpreter default, so behaviour cannot silently change
+    with the Python version's default start method.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def worker_init() -> None:
+    """Pool-worker initializer: drop state a fork must not inherit.
+
+    A forked child starts with the parent's ``repro.sim.fastpath``
+    module-level cache (``_cached``/``_module``) and whatever backend the
+    parent happened to resolve; every worker re-resolves from its own
+    environment instead, and the backend it actually ran is recorded on
+    each row and asserted by the runner.
+    """
+    from repro.sim import fastpath
+
+    fastpath.reset()
 
 
 class Campaign:
@@ -188,9 +219,22 @@ class Campaign:
         rows: List[Dict[str, Any]] = []
         self.telemetry = []
         status_counts: Dict[str, int] = {}
+        # The backend this process resolves from its own environment; a
+        # worker reporting anything else ran on inherited (stale) state.
+        from repro.sim.kernel import Simulator
+
+        expected_backend = Simulator().backend
 
         def finish(row: Dict[str, Any]) -> None:
             telemetry = row.pop("_telemetry", None)
+            backend = (telemetry or {}).get("backend")
+            if backend is not None and backend != expected_backend:
+                raise SimulationError(
+                    f"run {row.get('run_id')} executed on kernel backend "
+                    f"{backend!r} but this campaign resolves to "
+                    f"{expected_backend!r}; a worker is running on "
+                    f"inherited backend state"
+                )
             if telemetry is not None:
                 self.telemetry.append(telemetry)
             status_counts[row["status"]] = (
@@ -279,7 +323,11 @@ class Campaign:
     def _run_pool(
         self, payloads: List[Dict[str, Any]], finish: Callable
     ) -> None:
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=pool_context(),
+            initializer=worker_init,
+        ) as pool:
             pending = {}
             for payload in payloads:
                 payload = dict(payload, attempt=1)

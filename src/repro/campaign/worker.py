@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -64,7 +65,6 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         "params": payload["overrides"],
     }
     timeout_s = payload.get("timeout_s")
-    use_alarm = bool(timeout_s) and _alarm_supported()
     telemetry = WorkerTelemetry(
         payload["run_id"],
         attempt=attempt,
@@ -72,27 +72,50 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         status_path=payload.get("status_file"),
         interval_ns=payload.get("heartbeat_interval_ns"),
     )
+    if timeout_s is not None and timeout_s <= 0:
+        # An exhausted (zero/negative) budget must *fire*, not arm:
+        # ``setitimer(ITIMER_REAL, 0.0)`` silently disables the timer and
+        # a negative value raises -- either way the run would proceed
+        # unwatched.  Short-circuit to the same row a fired alarm yields.
+        row["status"] = "timeout"
+        row["error"] = f"run exceeded {timeout_s:g}s"
+        row["_telemetry"] = telemetry.finish(row["status"], row["error"])
+        return row
+    use_alarm = timeout_s is not None and _alarm_supported()
     recorder = None
     sim: Optional[Any] = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _raise_timeout)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        armed_at = time.monotonic()
+        # setitimer returns the timer it displaced; teardown re-arms it
+        # (minus our elapsed time) so an outer watchdog keeps ticking.
+        prior_timer = signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
         # Expansion already validated the document; strict would only
         # re-check it in every worker.
-        spec = ScenarioSpec.from_dict(payload["scenario"], strict=False)
-        testbed = spec.build_testbed()
-        sim = testbed.sim
-        if payload.get("flight_dir"):
-            from repro.obs.flight import FlightRecorder
+        if payload["scenario"].get("shard"):
+            # Partitioned run: there is no single kernel to attach the
+            # flight recorder / event budget / heartbeat probes to, so
+            # those per-run observers are skipped; rows stay identical to
+            # the unsharded run's (the shard determinism contract).
+            from repro.sim.shard import run_sharded
 
-            recorder = FlightRecorder()
-            sim.flight = recorder
-        if payload.get("event_budget"):
-            sim.event_budget = int(payload["event_budget"])
-        telemetry.attach(sim, spec.duration_ns)
-        config = testbed.base_config
-        result = testbed.run(duration_ns=spec.duration_ns)
+            result = run_sharded(payload["scenario"])
+            config = result.base_config
+        else:
+            spec = ScenarioSpec.from_dict(payload["scenario"], strict=False)
+            testbed = spec.build_testbed()
+            sim = testbed.sim
+            if payload.get("flight_dir"):
+                from repro.obs.flight import FlightRecorder
+
+                recorder = FlightRecorder()
+                sim.flight = recorder
+            if payload.get("event_budget"):
+                sim.event_budget = int(payload["event_budget"])
+            telemetry.attach(sim, spec.duration_ns)
+            config = testbed.base_config
+            result = testbed.run(duration_ns=spec.duration_ns)
         row.update(_measurements(result, config))
         row["status"] = "ok"
     except RunTimeout:
@@ -114,6 +137,17 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+            prior_delay, prior_interval = prior_timer
+            if prior_delay > 0.0:
+                # Restore the displaced itimer with whatever time it had
+                # left; clamp at a minimal positive delay (0 would disable
+                # it) so an already-due outer timer fires immediately.
+                remaining = max(
+                    prior_delay - (time.monotonic() - armed_at), 1e-6
+                )
+                signal.setitimer(
+                    signal.ITIMER_REAL, remaining, prior_interval
+                )
     if recorder is not None and row["status"] != "ok":
         name = flight_dump_name(payload["run_id"], attempt)
         context = {
@@ -128,7 +162,14 @@ def execute_run(payload: Dict[str, Any]) -> Dict[str, Any]:
             context["sim_stats"] = sim.stats.as_dict()
         recorder.dump_to(Path(payload["flight_dir"]) / name, context)
         row["flight_dump"] = name
-    row["_telemetry"] = telemetry.finish(row["status"], row.get("error"))
+    digest = telemetry.finish(row["status"], row.get("error"))
+    if sim is not None:
+        # The backend this worker *actually* ran on travels back on the
+        # telemetry side channel (rows must stay backend-agnostic: the
+        # py/c equivalence lock compares them across backends); the
+        # runner asserts it matches its own resolution.
+        digest["backend"] = sim.backend
+    row["_telemetry"] = digest
     return row
 
 

@@ -89,6 +89,14 @@ class Link:
         self._fault_loss_rng: Optional[random.Random] = None
         self._fault_corrupt_rate = 0.0
         self._fault_corrupt_rng: Optional[random.Random] = None
+        #: Same-instant tie-break for arrival events.  The testbed assigns
+        #: every link a unique positive priority in wiring order, so two
+        #: frames landing on the same component in the same nanosecond are
+        #: ordered by *which link* carried them -- a property of the
+        #: topology -- rather than by event-posting order, which differs
+        #: between single-process and sharded execution.
+        self.arrival_priority = 0
+        self._divert: Optional[Callable[[int, EthernetFrame], None]] = None
         src.attach(self._carry)
 
     # -------------------------------------------------------------- failure
@@ -193,7 +201,32 @@ class Link:
             else:
                 frame = frame.corrupted()
         self.frames_carried += 1
-        self._sim.post(self.propagation_ns, lambda: self._receive(frame))
+        if self._divert is not None:
+            # Sharded execution: the receiver lives in another worker.  All
+            # loss/corruption accounting above has already happened on this
+            # (owning) side; the divert hook ships ``(arrival_ns, frame)``
+            # across the shard boundary instead of posting locally.
+            self._divert(self._sim.now + self.propagation_ns, frame)
+            return
+        self._sim.post(
+            self.propagation_ns,
+            lambda: self._receive(frame),
+            self.arrival_priority,
+        )
+
+    def divert(self, handoff: Callable[[int, EthernetFrame], None]) -> None:
+        """Route carried frames to *handoff(arrival_ns, frame)* instead of
+        delivering locally.  Used by the shard coordinator for cut links."""
+        self._divert = handoff
+
+    def deliver(self, frame) -> None:
+        """Hand *frame* to this link's receiver right now.
+
+        The import side of a shard boundary: the destination worker posts
+        an event at the frame's arrival time (with this link's
+        ``arrival_priority``) whose action calls ``deliver``.
+        """
+        self._receive(frame)
 
     # -------------------------------------------------------------- queries
 

@@ -636,6 +636,14 @@ class Testbed:
             self._listener_ports[(attachment.switch, attachment.host)] = (
                 attachment.port
             )
+        # Unique positive arrival priority per link, in wiring order (a
+        # pure function of the topology spec).  Same-instant arrivals are
+        # then ordered identically whether the run is single-process or
+        # sharded -- posting order is execution-dependent, link identity is
+        # not.  Positive keeps them after gate/fault events (negative
+        # priorities) and ordinary zero-priority events at the same time.
+        for index, link in enumerate(self.links):
+            link.arrival_priority = index + 1
 
     def _program_gates(self) -> None:
         if self.gate_mechanism != "cqf":

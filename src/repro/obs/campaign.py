@@ -94,10 +94,19 @@ class LedgerWriter:
         self.sweep = sweep
         self.spec_hash = spec_hash
         self._owns_sink = not hasattr(sink, "write")
+        self._fd: Optional[int] = None
         if self._owns_sink:
             path = Path(sink)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._sink: IO[str] = path.open("w")
+            # O_APPEND fd, written with single os.write() calls: the
+            # kernel serializes appends, so concurrent writers (or a
+            # crash mid-record) can leave at most one torn *final* line,
+            # never interleaved bytes mid-file.
+            self._fd = os.open(
+                path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC | os.O_APPEND,
+                0o644,
+            )
+            self._sink: Optional[IO[str]] = None
         else:
             self._sink = sink  # type: ignore[assignment]
         self.run_records = 0
@@ -112,8 +121,12 @@ class LedgerWriter:
         )
 
     def _write(self, record: Dict[str, Any]) -> None:
-        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
-        self._sink.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._fd is not None:
+            os.write(self._fd, line.encode())
+        else:
+            self._sink.write(line)
+            self._sink.flush()
 
     def record_run(self, row: Mapping[str, Any]) -> None:
         """Ledger one finished run from its result *row*.
@@ -153,8 +166,9 @@ class LedgerWriter:
                 "status": dict(status_counts or {}),
             }
         )
-        if self._owns_sink:
-            self._sink.close()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
 def read_ledger(path: Union[str, Path]) -> List[Dict[str, Any]]:
@@ -186,23 +200,30 @@ def ledger_run_records(
 class HeartbeatWriter:
     """Append-only writer of single-line JSON heartbeat records.
 
-    Workers and the runner share one status file; each record is written
-    as one ``write()`` call in append mode, which POSIX keeps atomic for
-    lines far below ``PIPE_BUF`` -- concurrent writers interleave whole
-    lines, never bytes.
+    Workers and the runner share one status file; each record is issued
+    as a single ``os.write()`` on an ``O_APPEND`` descriptor, which POSIX
+    keeps atomic for lines below ``PIPE_BUF`` -- concurrent writers
+    interleave whole lines, never bytes.  (A buffered ``write()+flush()``
+    does *not* give that guarantee: the stdio buffer may flush in several
+    syscalls, tearing lines mid-record.)
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._sink = self.path.open("a")
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
 
     def write(self, record: Mapping[str, Any]) -> None:
-        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
-        self._sink.flush()
+        if self._fd is None:
+            raise ValueError("heartbeat writer is closed")
+        os.write(self._fd, (json.dumps(record, sort_keys=True) + "\n").encode())
 
     def close(self) -> None:
-        self._sink.close()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
 def _cpu_seconds() -> float:

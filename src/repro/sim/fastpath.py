@@ -27,7 +27,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["load", "available", "build", "extension_path"]
+__all__ = ["load", "available", "build", "extension_path", "reset"]
 
 _SOURCE = Path(__file__).with_name("_fastpath.c")
 
@@ -79,17 +79,28 @@ def build(verbose: bool = False) -> Optional[Path]:
                 and target.stat().st_mtime >= _SOURCE.stat().st_mtime
             ):
                 return target
+            # Compile to a per-process temp name, then publish with an
+            # atomic rename: concurrent builders (pool workers, sharded
+            # runs) each produce a complete .so and the loser's rename
+            # simply overwrites the winner's identical artifact -- no
+            # reader can ever dlopen a half-written file.
+            scratch = directory / f".{name}.{os.getpid()}.tmp"
             cmd = [
                 cc, "-O2", "-shared", "-fPIC",
-                f"-I{include}", str(_SOURCE), "-o", str(target),
+                f"-I{include}", str(_SOURCE), "-o", str(scratch),
             ]
-            result = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
-            )
-            if result.returncode == 0:
-                return target
-            if verbose:
-                sys.stderr.write(result.stderr)
+            try:
+                result = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+                if result.returncode == 0 and scratch.exists():
+                    os.replace(scratch, target)
+                    return target
+                if verbose:
+                    sys.stderr.write(result.stderr)
+            finally:
+                if scratch.exists():
+                    scratch.unlink()
         except (OSError, subprocess.SubprocessError):
             continue
     return None
@@ -117,6 +128,19 @@ def load() -> Optional[object]:
         return None
     _module = module
     return _module
+
+
+def reset() -> None:
+    """Drop the cached load result so the next ``load()`` re-resolves.
+
+    Forked worker processes call this (via the campaign pool initializer)
+    so a child never trusts backend state resolved in the parent: the
+    parent may have loaded -- or failed to load -- the extension under
+    different environment or filesystem conditions than the child sees.
+    """
+    global _cached, _module
+    _cached = False
+    _module = None
 
 
 def available() -> bool:

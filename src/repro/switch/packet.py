@@ -51,6 +51,22 @@ def is_multicast(mac: MacAddress) -> bool:
 _frame_ids = itertools.count()
 
 
+def reset_frame_ids() -> None:
+    """Restart the global frame-id counter from zero.
+
+    Frame ids are debugging handles, never part of any observable (traces,
+    reports, rows all omit them), but a forked shard worker must restart
+    the counter so that its builds do not inherit however far the parent's
+    counter had advanced.  ``batch`` imports the counter by value, so the
+    alias there is rebound too.
+    """
+    global _frame_ids
+    _frame_ids = itertools.count()
+    from . import batch as _batch
+
+    _batch._frame_ids = _frame_ids
+
+
 @dataclass(frozen=True)
 class EthernetFrame:
     """One frame on the wire.

@@ -287,3 +287,62 @@ class TestStatusRendering:
         with path.open("a") as fh:
             fh.write('{"hb": "tick", "trunc')
         assert [r["hb"] for r in read_status(path)] == ["sweep"]
+
+
+def _spam_heartbeats(args):
+    """Child-process worker: append many oversized heartbeat lines."""
+    path, ident, count = args
+    writer = HeartbeatWriter(path)
+    for i in range(count):
+        # Far larger than any stdio buffer: a buffered write()+flush()
+        # would issue several syscalls per line and could tear under
+        # concurrency; a single os.write() on O_APPEND cannot.
+        writer.write({"hb": "tick", "w": ident, "i": i, "pad": "x" * 9000})
+    writer.close()
+    return count
+
+
+class TestAtomicAppends:
+    """Ledger/heartbeat lines are single O_APPEND writes: never torn."""
+
+    def test_ledger_tolerates_partial_final_line_without_newline(
+        self, tmp_path
+    ):
+        # A writer killed mid-append leaves a final line with no trailing
+        # newline; read_ledger must drop exactly that line.
+        path = tmp_path / "ledger.jsonl"
+        ledger = LedgerWriter(path, sweep="s", spec_hash="abc", runs=1)
+        ledger.record_run(_row())
+        ledger.close()
+        with path.open("ab") as fh:
+            fh.write(b'{"record": "run", "run_id": "s:9')
+        records = read_ledger(path)
+        assert [r["record"] for r in records] == ["sweep", "run", "sweep_end"]
+
+    def test_concurrent_heartbeat_writers_never_interleave(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "status.jsonl"
+        writers, per_writer = 4, 25
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(writers) as pool:
+            pool.map(
+                _spam_heartbeats,
+                [(str(path), w, per_writer) for w in range(writers)],
+            )
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * per_writer
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # a torn line would fail to parse
+            assert record["pad"] == "x" * 9000
+            seen.add((record["w"], record["i"]))
+        assert len(seen) == writers * per_writer
+
+    def test_heartbeat_write_after_close_rejected(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "status.jsonl")
+        writer.close()
+        import pytest
+
+        with pytest.raises(ValueError):
+            writer.write({"hb": "tick"})

@@ -1,0 +1,309 @@
+"""Sharded single-run simulation: determinism, partitioning, restrictions.
+
+The acceptance contract of :mod:`repro.sim.shard` is byte-determinism:
+a 1-shard and an N-shard run of the same scenario must produce identical
+observables -- counters, class digests, drop/port reports, latency
+records, fault digests, canonically sorted traces, sweep rows.  These
+tests pin that contract on the topology shapes the partitioner handles
+differently (chain-like ring, star, redundant dual path) and under the
+cross-shard stress cases (faults on a cut link, FRER elimination across
+the cut).
+
+Every sharded run here spawns real worker processes; scenarios are kept
+small so the whole module stays in CI-smoke territory.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network.scenario import ScenarioSpec, validate_scenario_dict
+from repro.network.topology import ring_topology, star_topology
+from repro.sim.shard import plan_partition, run_sharded
+
+# 50us propagation keeps the lookahead window coarse: a few dozen epochs
+# per run instead of thousands, without changing any observable besides
+# the (identical-everywhere) link latency.
+RING = {
+    "name": "shard-ring",
+    "topology": {
+        "kind": "ring",
+        "switch_count": 4,
+        "talkers": ["talker0", "talker1"],
+        "listener": "listener",
+    },
+    "flows": {
+        "ts_count": 4,
+        "period_us": 1_000,
+        "size_bytes": 64,
+        "rc_mbps": 50,
+        "be_mbps": 50,
+    },
+    "duration_ms": 4,
+    "propagation_ns": 50_000,
+    "seed": 3,
+}
+
+STAR = {
+    "name": "shard-star",
+    "topology": {
+        "kind": "star",
+        "child_count": 3,
+        "talkers": ["talker0", "talker1"],
+        "listener": "listener",
+    },
+    "flows": {"ts_count": 4, "period_us": 1_000, "size_bytes": 64},
+    "duration_ms": 4,
+    "propagation_ns": 50_000,
+    "seed": 5,
+}
+
+# FRER member streams split at sw0 and merge at the eliminator: with 2+
+# shards the member paths land in different shards and elimination state
+# must still come out identical.
+DUAL_PATH = {
+    "name": "shard-dual-path",
+    "topology": {"kind": "dual_path", "chain_len": 3},
+    "flows": {"ts_count": 2, "period_us": 1_000, "size_bytes": 64},
+    "duration_ms": 4,
+    "propagation_ns": 50_000,
+    "frer_ts": True,
+    "seed": 7,
+}
+
+# Default 2-shard split of the 4-ring is {sw0,sw1 | sw2,sw3}, so
+# sw1.p0->sw2 is a cut link: the link_down window and the loss burst are
+# exercised on the exact link the coordinator tunnels frames over.
+FAULTED_RING = dict(
+    RING,
+    name="shard-faulted-ring",
+    faults={
+        "events": [
+            {"kind": "link_down", "link": "sw1.p0->sw2", "at_us": 1_000,
+             "duration_us": 1_000},
+            {"kind": "loss_burst", "link": "sw0.p0->sw1", "at_us": 2_500,
+             "duration_us": 500, "rate": 1.0},
+        ]
+    },
+)
+
+LINK_FIELDS = (
+    "frames_carried", "frames_corrupted", "frames_blackholed",
+    "frames_fault_lost", "frames_fault_corrupted", "down_count",
+)
+
+
+def _digest(result) -> dict:
+    """Every deterministic observable a run exposes, comparison-ready."""
+    return {
+        "counters": result.counters(),
+        "classes": result.analyzer.class_digest(result.expected_by_flow),
+        "expected": dict(result.expected_by_flow),
+        "drops": result.drop_report(),
+        "ports": result.port_report(),
+        "links": {
+            link.name: tuple(getattr(link, field) for field in LINK_FIELDS)
+            for link in result.links
+        },
+        "high_water": (
+            result.max_queue_high_water(),
+            result.max_buffer_high_water(),
+        ),
+        "faults": result.faults.as_dict() if result.faults else None,
+    }
+
+
+def _sharded_digests(scenario, counts, trace=False):
+    out = []
+    for count in counts:
+        result = run_sharded(scenario, shards=count, trace=trace)
+        digest = _digest(result)
+        if trace:
+            digest["trace"] = list(result.tracer.records)
+        out.append((count, digest))
+    return out
+
+
+def _assert_all_identical(digests):
+    (base_count, base), *rest = digests
+    for count, digest in rest:
+        for key in base:
+            assert digest[key] == base[key], (
+                f"{key} differs between {base_count} and {count} shards"
+            )
+
+
+class TestDeterminism:
+    def test_ring_identical_across_shard_counts(self):
+        _assert_all_identical(
+            _sharded_digests(RING, (1, 2, 4), trace=True)
+        )
+
+    def test_star_identical_across_shard_counts(self):
+        _assert_all_identical(_sharded_digests(STAR, (1, 2, 4)))
+
+    def test_frer_dual_path_identical_across_shard_counts(self):
+        digests = _sharded_digests(DUAL_PATH, (1, 2, 3))
+        _assert_all_identical(digests)
+        # The run must actually exercise elimination for the comparison
+        # to mean anything.
+        counters = digests[0][1]["counters"]
+        assert any(
+            c.get("frer_eliminated") for c in counters.values()
+        ) or digests[0][1]["classes"]["TS"]["received"] > 0
+
+    def test_faulted_ring_identical_including_fault_digest(self):
+        digests = _sharded_digests(FAULTED_RING, (1, 2, 4))
+        _assert_all_identical(digests)
+        faults = digests[0][1]["faults"]
+        assert faults is not None and faults["timeline"], (
+            "fault plan did not fire; the cut-link stress is vacuous"
+        )
+
+    def test_single_shard_matches_plain_run(self):
+        plain = ScenarioSpec.from_dict(copy.deepcopy(RING)).run()
+        sharded = run_sharded(RING, shards=1)
+        assert _digest(sharded) == _digest(plain)
+
+    def test_sweep_rows_identical_with_shard_stanza(self):
+        from repro.campaign.worker import execute_run
+
+        def row(scenario):
+            payload = {
+                "run_id": "r0", "index": 0, "replicate": 0, "seed": 3,
+                "overrides": {}, "scenario": scenario, "attempt": 1,
+            }
+            out = execute_run(payload)
+            out.pop("_telemetry")
+            return out
+
+        sharded_scenario = dict(copy.deepcopy(RING))
+        sharded_scenario["shard"] = {"count": 2}
+        plain_row = row(copy.deepcopy(RING))
+        shard_row = row(sharded_scenario)
+        assert plain_row["status"] == "ok", plain_row
+        assert shard_row == plain_row
+
+
+class TestPartition:
+    def test_ring_default_split_is_contiguous(self):
+        topology = ring_topology(switch_count=4)
+        assert plan_partition(topology, 2) == {
+            "sw0": 0, "sw1": 0, "sw2": 1, "sw3": 1,
+        }
+
+    def test_star_split_isolates_branches(self):
+        topology = star_topology(child_count=3)
+        assignment = plan_partition(topology, 2)
+        assert set(assignment.values()) == {0, 1}
+        assert len(assignment) == len(topology.switch_ports)
+
+    def test_explicit_assignment_respected(self):
+        topology = ring_topology(switch_count=4)
+        assign = {"sw0": 0, "sw1": 1, "sw2": 1, "sw3": 0}
+        assert plan_partition(topology, 2, assign) == assign
+
+    def test_count_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard count"):
+            plan_partition(ring_topology(switch_count=4), 0)
+
+    def test_count_above_switch_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            plan_partition(ring_topology(switch_count=4), 5)
+
+    def test_partial_assignment_rejected(self):
+        with pytest.raises(ConfigurationError, match="cover every switch"):
+            plan_partition(
+                ring_topology(switch_count=4), 2, {"sw0": 0, "sw1": 1}
+            )
+
+    def test_assignment_with_empty_shard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_partition(
+                ring_topology(switch_count=4), 2,
+                {"sw0": 0, "sw1": 0, "sw2": 0, "sw3": 0},
+            )
+
+    def test_assignment_index_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_partition(
+                ring_topology(switch_count=4), 2,
+                {"sw0": 0, "sw1": 0, "sw2": 1, "sw3": 2},
+            )
+
+
+class TestRestrictions:
+    def test_slo_rejected(self):
+        scenario = dict(copy.deepcopy(RING))
+        scenario["slo"] = {"class": {"TS": {"latency_us": 2000}}}
+        with pytest.raises(ConfigurationError, match="slo"):
+            run_sharded(scenario, shards=2)
+
+    def test_gptp_rejected(self):
+        scenario = dict(copy.deepcopy(RING))
+        scenario["enable_gptp"] = True
+        with pytest.raises(ConfigurationError, match="gptp"):
+            run_sharded(scenario, shards=2)
+
+    def test_gm_fault_rejected(self):
+        scenario = dict(copy.deepcopy(RING))
+        scenario["faults"] = {
+            "events": [{"kind": "gm_down", "node": "sw0", "at_us": 1_000}]
+        }
+        with pytest.raises(ConfigurationError, match="gm_"):
+            run_sharded(scenario, shards=2)
+
+    def test_zero_propagation_with_cut_links_rejected(self):
+        scenario = dict(copy.deepcopy(RING))
+        scenario["propagation_ns"] = 0
+        with pytest.raises(ConfigurationError, match="propagation"):
+            run_sharded(scenario, shards=2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard count"):
+            run_sharded(copy.deepcopy(RING), shards=0)
+
+
+class TestStanzaValidation:
+    BASE = {
+        "name": "x",
+        "topology": {"kind": "ring"},
+        "flows": {"ts_count": 1},
+        "duration_ms": 1,
+    }
+
+    def _problems(self, stanza):
+        doc = dict(self.BASE)
+        doc["shard"] = stanza
+        return validate_scenario_dict(doc)
+
+    def test_valid_stanza_accepted(self):
+        assert self._problems({"count": 2, "assign": {"sw0": 0}}) == []
+
+    def test_unknown_key_rejected(self):
+        problems = self._problems({"shards": 2})
+        assert any("unknown shard key" in p for p in problems)
+
+    def test_bad_count_rejected(self):
+        assert any(
+            "shard.count" in p for p in self._problems({"count": 0})
+        )
+        assert any(
+            "shard.count" in p for p in self._problems({"count": "two"})
+        )
+
+    def test_bad_assign_rejected(self):
+        assert any(
+            "shard.assign" in p
+            for p in self._problems({"assign": {"sw0": "left"}})
+        )
+
+    def test_stanza_round_trips_through_spec(self):
+        doc = dict(copy.deepcopy(RING))
+        doc["shard"] = {"count": 2}
+        spec = ScenarioSpec.from_dict(doc)
+        assert spec.shard == {"count": 2}
+        assert spec.to_dict()["shard"] == {"count": 2}

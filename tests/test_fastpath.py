@@ -370,3 +370,56 @@ class TestFrameBatch:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             FrameBatch(capacity=0)
+
+
+def _build_into(directory):
+    """Child-process worker: compile the extension into *directory*."""
+    from pathlib import Path
+
+    from repro.sim import fastpath as fp
+
+    fp.reset()
+    fp._candidate_dirs = lambda: [Path(directory)]
+    path = fp.build()
+    return str(path) if path is not None else None
+
+
+class TestConcurrentBuild:
+    """``build()`` must publish atomically under concurrent builders."""
+
+    @staticmethod
+    def _have_cc():
+        import os
+        import shutil
+
+        return shutil.which(os.environ.get("CC", "cc")) is not None
+
+    def test_parallel_builds_share_one_complete_artifact(self, tmp_path):
+        if not self._have_cc():
+            pytest.skip("no C toolchain")
+        import importlib.util
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            results = pool.map(_build_into, [str(tmp_path)] * 4)
+        assert all(r is not None for r in results)
+        assert len(set(results)) == 1, results
+        # No half-written scratch files survive, and the published
+        # artifact is a complete, importable extension.
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        spec = importlib.util.spec_from_file_location(
+            "repro.sim._fastpath", results[0]
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert hasattr(module, "run_loop")
+
+    def test_reset_clears_cached_load(self, monkeypatch):
+        monkeypatch.setattr(fastpath, "_cached", True)
+        sentinel = object()
+        monkeypatch.setattr(fastpath, "_module", sentinel)
+        assert fastpath.load() is sentinel
+        fastpath.reset()
+        assert fastpath._cached is False and fastpath._module is None
